@@ -1,0 +1,175 @@
+//! A GNNLab-like system: factored design with dedicated sampling GPUs and
+//! a pre-sampling-based static feature cache.
+//!
+//! GNNLab (EuroSys'22) splits the GPUs of a machine into samplers and
+//! trainers, overlapping the two roles, and fills leftover trainer memory
+//! with a hotness-ordered static cache. It needs at least 2 GPUs (paper
+//! §6.2) and its cache loses effectiveness exactly when large subgraphs
+//! leave no spare memory — the regime FastGL targets.
+
+use fastgl_core::hotness::CacheRankPolicy;
+use fastgl_core::pipeline::{CachePolicy, Pipeline, PipelinePolicy};
+use fastgl_core::{
+    ComputeMode, EpochStats, FastGlConfig, IdMapKind, SampleDevice, TrainingSystem,
+};
+use fastgl_graph::DatasetBundle;
+
+/// The GNNLab-like baseline.
+#[derive(Debug)]
+pub struct GnnLabSystem {
+    inner: Pipeline,
+}
+
+impl GnnLabSystem {
+    /// Builds GNNLab over the shared base configuration. Following the
+    /// paper's setup, one GPU samples when the machine has ≤ 4 GPUs and
+    /// two sample when it has more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or has fewer than 2 GPUs
+    /// (GNNLab cannot run on 1 GPU, paper §6.4).
+    pub fn new(mut config: FastGlConfig) -> Self {
+        assert!(
+            config.system.num_gpus >= 2,
+            "GNNLab needs at least 2 GPUs (one sampler, one trainer)"
+        );
+        config.sample_device = SampleDevice::Gpu;
+        config.id_map = IdMapKind::Baseline;
+        config.compute_mode = ComputeMode::Naive;
+        config.enable_match = false;
+        config.enable_reorder = false;
+        config.cache_ratio = None; // auto-size to leftover memory
+        let sampler_gpus = if config.system.num_gpus <= 4 { 1 } else { 2 };
+        let policy = PipelinePolicy {
+            use_match: false,
+            use_reorder: false,
+            cache: CachePolicy::Auto,
+            sampler_gpus,
+            overlap_sample: true,
+            cache_rank: CacheRankPolicy::PreSampledHotness,
+        };
+        Self {
+            inner: Pipeline::new("GNNLab", config, policy),
+        }
+    }
+
+    /// Builds GNNLab with an explicit cache ratio (the Fig. 10a sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GnnLabSystem::new`].
+    pub fn with_cache_ratio(mut config: FastGlConfig, ratio: f64) -> Self {
+        assert!(config.system.num_gpus >= 2, "GNNLab needs at least 2 GPUs");
+        config.sample_device = SampleDevice::Gpu;
+        config.id_map = IdMapKind::Baseline;
+        config.compute_mode = ComputeMode::Naive;
+        config.enable_match = false;
+        config.enable_reorder = false;
+        let policy = PipelinePolicy {
+            use_match: false,
+            use_reorder: false,
+            cache: CachePolicy::Ratio(ratio),
+            sampler_gpus: 1,
+            overlap_sample: true,
+            cache_rank: CacheRankPolicy::PreSampledHotness,
+        };
+        Self {
+            inner: Pipeline::new("GNNLab", config, policy),
+        }
+    }
+}
+
+impl TrainingSystem for GnnLabSystem {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn run_epoch(&mut self, data: &DatasetBundle, epoch: u64) -> EpochStats {
+        self.inner.run_epoch(data, epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastgl_graph::Dataset;
+
+    fn cfg() -> FastGlConfig {
+        FastGlConfig::default()
+            .with_batch_size(128)
+            .with_fanouts(vec![5, 10])
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 GPUs")]
+    fn rejects_single_gpu() {
+        let _ = GnnLabSystem::new(cfg().with_gpus(1));
+    }
+
+    #[test]
+    fn cache_reduces_io_versus_dgl() {
+        let data = Dataset::Reddit.generate_scaled(1.0 / 256.0, 7);
+        let mut lab = GnnLabSystem::new(cfg());
+        let mut dgl = crate::DglSystem::new(cfg());
+        let s_lab = lab.run_epoch(&data, 0);
+        let s_dgl = dgl.run_epoch(&data, 0);
+        assert!(s_lab.rows_cached > 0, "GNNLab cached nothing");
+        assert!(
+            s_lab.breakdown.io < s_dgl.breakdown.io,
+            "cache must cut IO: {} vs {}",
+            s_lab.breakdown.io,
+            s_dgl.breakdown.io
+        );
+    }
+
+    #[test]
+    fn overlap_hides_part_of_the_sampling() {
+        // GNNLab's dedicated sampler GPU overlaps sampling with training;
+        // its visible sample time must be below the same pipeline run
+        // without overlap (paper Fig. 14d: hiding works until the sampled
+        // subgraph outgrows the training time).
+        use fastgl_core::hotness::CacheRankPolicy;
+use fastgl_core::pipeline::{CachePolicy, Pipeline, PipelinePolicy};
+        let data = Dataset::Reddit.generate_scaled(1.0 / 256.0, 8);
+        let heavy = cfg().with_batch_size(256);
+        let mut lab = GnnLabSystem::new(heavy.clone());
+        let mut unhidden_cfg = heavy;
+        unhidden_cfg.sample_device = fastgl_core::SampleDevice::Gpu;
+        unhidden_cfg.id_map = fastgl_core::IdMapKind::Baseline;
+        unhidden_cfg.compute_mode = fastgl_core::ComputeMode::Naive;
+        let mut unhidden = Pipeline::new(
+            "GNNLab-noorverlap",
+            unhidden_cfg,
+            PipelinePolicy {
+                use_match: false,
+                use_reorder: false,
+                cache: CachePolicy::Auto,
+                sampler_gpus: 1,
+                overlap_sample: false,
+                cache_rank: CacheRankPolicy::PreSampledHotness,
+            },
+        );
+        let s_lab = lab.run_epoch(&data, 0);
+        let s_plain = unhidden.run_epoch(&data, 0);
+        assert!(
+            s_lab.breakdown.sample < s_plain.breakdown.sample,
+            "overlap must hide sampling: {} vs {}",
+            s_lab.breakdown.sample,
+            s_plain.breakdown.sample
+        );
+        assert!(s_lab.total() < s_plain.total());
+    }
+
+    #[test]
+    fn explicit_ratio_controls_cache() {
+        let data = Dataset::Products.generate_scaled(1.0 / 1024.0, 9);
+        let mut zero = GnnLabSystem::with_cache_ratio(cfg(), 0.0);
+        let mut half = GnnLabSystem::with_cache_ratio(cfg(), 0.5);
+        let s0 = zero.run_epoch(&data, 0);
+        let s5 = half.run_epoch(&data, 0);
+        assert_eq!(s0.rows_cached, 0);
+        assert!(s5.rows_cached > 0);
+        assert!(s5.breakdown.io < s0.breakdown.io);
+    }
+}

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the aggregation: the simulator's trace replay and
+//! the numeric CPU aggregation kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastgl_gnn::aggregate::{mean_aggregate, sum_aggregate};
+use fastgl_gpusim::{AggregationKernel, CostParams, DeviceSpec, SubgraphLayerTrace};
+use fastgl_sample::Block;
+use fastgl_tensor::Matrix;
+
+/// A block with `t` targets of degree `deg` over `s` sources.
+fn block(t: u64, deg: u64, s: u64) -> Block {
+    let mut x = 0xBEEF_CAFE_1234_5678u64;
+    let mut src_offsets = vec![0u64];
+    let mut src_locals = Vec::new();
+    for _ in 0..t {
+        for _ in 0..deg {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            src_locals.push((x >> 33) % s);
+        }
+        src_offsets.push(src_locals.len() as u64);
+    }
+    Block {
+        dst_locals: (0..t).collect(),
+        src_offsets,
+        src_locals,
+    }
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_aggregation");
+    group.sample_size(10);
+    let b = block(8_000, 12, 60_000);
+    let kernel = AggregationKernel::new(DeviceSpec::rtx3090(), CostParams::default());
+    for &dim in &[64usize, 256] {
+        let trace = SubgraphLayerTrace {
+            offsets: &b.src_offsets,
+            sources: &b.src_locals,
+            num_sources: 60_000,
+            feature_dim: dim,
+        };
+        group.bench_with_input(BenchmarkId::new("naive_trace", dim), &trace, |bch, t| {
+            bch.iter(|| black_box(kernel.naive_cost(t)));
+        });
+        group.bench_with_input(BenchmarkId::new("memory_aware", dim), &trace, |bch, t| {
+            bch.iter(|| black_box(kernel.memory_aware_cost(t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_numeric_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric_aggregation");
+    group.sample_size(10);
+    let b = block(4_000, 10, 20_000);
+    let z = Matrix::zeros(20_000, 64);
+    group.bench_function("mean_4k_dst_64d", |bch| {
+        bch.iter(|| black_box(mean_aggregate(&b, &z)));
+    });
+    group.bench_function("sum_4k_dst_64d", |bch| {
+        bch.iter(|| black_box(sum_aggregate(&b, &z)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_replay, bench_numeric_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbenchmarks of the cache simulator and the static feature cache.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastgl_core::FeatureCache;
+use fastgl_gpusim::{Cache, CacheConfig};
+use fastgl_graph::generate::rmat::{self, RmatConfig};
+use fastgl_graph::NodeId;
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_simulator");
+    let n = 200_000u64;
+    let addrs: Vec<u64> = {
+        let mut x = 99u64;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 20) % (64 << 20)
+            })
+            .collect()
+    };
+    group.throughput(Throughput::Elements(n));
+    for &capacity in &[(128u64 << 10), (6u64 << 20)] {
+        group.bench_with_input(
+            BenchmarkId::new("random_access", capacity),
+            &addrs,
+            |b, addrs| {
+                b.iter(|| {
+                    let mut cache = Cache::new(CacheConfig::with_capacity(capacity));
+                    let mut hits = 0u64;
+                    for &a in addrs {
+                        hits += cache.access(a) as u64;
+                    }
+                    black_box(hits)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_feature_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_cache");
+    let g = rmat::generate(&RmatConfig::social(100_000, 1_000_000), 5);
+    let cache = FeatureCache::degree_ordered(&g, 20_000, 400);
+    let load: Vec<NodeId> = (0..50_000).map(|i| NodeId(i * 2)).collect();
+    group.throughput(Throughput::Elements(load.len() as u64));
+    group.bench_function("partition_50k", |b| {
+        b.iter(|| black_box(cache.partition(&load)));
+    });
+    group.sample_size(10);
+    group.bench_function("build_degree_ordered_20k", |b| {
+        b.iter(|| black_box(FeatureCache::degree_ordered(&g, 20_000, 400)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_sim, bench_feature_cache);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmark of the ID-map strategies (paper Table 8's kernel).
+//!
+//! Compares the DGL-style three-kernel map, the deterministic Fused-Map
+//! replay, and the truly concurrent lock-free Fused-Map on realistic ID
+//! streams (heavy duplication, power-law-ish key reuse).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastgl_sample::{BaselineIdMap, FusedIdMap, IdMap};
+
+/// An ID stream with ~8x duplication over a skewed key space, the shape a
+/// sampled subgraph's concatenated frontiers produce.
+fn id_stream(total: usize) -> Vec<u64> {
+    let unique = (total / 8).max(1) as u64;
+    let mut x = 0x1357_9BDF_2468_ACE0u64;
+    (0..total)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Square the unit draw to bias towards small IDs (hubs).
+            let u = (x >> 40) as f64 / (1u64 << 24) as f64;
+            ((u * u * unique as f64) as u64).min(unique - 1)
+        })
+        .collect()
+}
+
+fn bench_id_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("id_map");
+    group.sample_size(20);
+    for &total in &[10_000usize, 100_000] {
+        let ids = id_stream(total);
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(BenchmarkId::new("baseline", total), &ids, |b, ids| {
+            b.iter(|| black_box(BaselineIdMap::new().map(ids)));
+        });
+        group.bench_with_input(BenchmarkId::new("fused", total), &ids, |b, ids| {
+            b.iter(|| black_box(FusedIdMap::new().map(ids)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fused_parallel_4t", total),
+            &ids,
+            |b, ids| {
+                b.iter(|| black_box(FusedIdMap { threads: 4, ..FusedIdMap::new() }.map_parallel(ids)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_id_map);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbenchmarks of the Match-Reorder building blocks (paper §4.1):
+//! set intersection (Match), match-degree matrices, and Algorithm 1.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastgl_core::match_reorder::{greedy_reorder, match_load_set};
+use fastgl_graph::NodeId;
+use fastgl_sample::overlap::match_degree_matrix;
+
+/// A sorted ID set of `n` elements with `overlap` fraction shared with the
+/// canonical base set.
+fn node_set(n: usize, overlap: f64, salt: u64) -> Vec<NodeId> {
+    let shared = (n as f64 * overlap) as u64;
+    let mut ids: Vec<NodeId> = (0..shared).map(|i| NodeId(i * 2)).collect();
+    ids.extend((0..(n as u64 - shared)).map(|i| NodeId(1_000_000 + salt * 100_000 + i * 2 + 1)));
+    ids.sort_unstable();
+    ids
+}
+
+fn bench_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match");
+    for &n in &[10_000usize, 100_000] {
+        let incoming = node_set(n, 0.7, 1);
+        let resident = node_set(n, 0.7, 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("match_load_set", n),
+            &(incoming, resident),
+            |b, (inc, res)| {
+                b.iter(|| black_box(match_load_set(inc, res)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder");
+    group.sample_size(20);
+    for &window in &[8usize, 32] {
+        let sets: Vec<Vec<NodeId>> = (0..window)
+            .map(|i| node_set(20_000, 0.6, i as u64))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("matrix_plus_greedy", window),
+            &sets,
+            |b, sets| {
+                b.iter(|| {
+                    let m = match_degree_matrix(sets);
+                    black_box(greedy_reorder(&m))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_match, bench_reorder);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! End-to-end pipeline benchmark: one simulated epoch per system on a
+//! small Products stand-in (the harness-side cost of regenerating Fig. 9).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastgl_baselines::SystemKind;
+use fastgl_core::FastGlConfig;
+use fastgl_graph::Dataset;
+
+fn bench_epoch(c: &mut Criterion) {
+    let data = Dataset::Products.generate_scaled(1.0 / 1024.0, 7);
+    let cfg = FastGlConfig::default()
+        .with_batch_size(64)
+        .with_fanouts(vec![5, 10]);
+    let mut group = c.benchmark_group("epoch_simulation");
+    group.sample_size(10);
+    for kind in [
+        SystemKind::Dgl,
+        SystemKind::GnnLab,
+        SystemKind::GnnAdvisor,
+        SystemKind::FastGl,
+    ] {
+        group.bench_with_input(BenchmarkId::new("system", kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut sys = kind.build(cfg.clone());
+                black_box(sys.run_epoch(&data, 0))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

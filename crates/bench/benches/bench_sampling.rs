@@ -1,0 +1,68 @@
+//! Microbenchmark of subgraph sampling (neighbour and random-walk).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastgl_graph::generate::rmat::{self, RmatConfig};
+use fastgl_graph::{Csr, DeterministicRng, NodeId};
+use fastgl_sample::{FusedIdMap, LayerWiseSampler, NeighborSampler, RandomWalkSampler};
+
+fn graph() -> Csr {
+    rmat::generate(&RmatConfig::social(50_000, 600_000), 42)
+}
+
+fn seeds(n: u64) -> Vec<NodeId> {
+    (0..n).map(|i| NodeId(i * 97 % 50_000)).collect()
+}
+
+fn bench_neighbor(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("neighbor_sampling");
+    group.sample_size(20);
+    for fanouts in [vec![5usize, 10], vec![5, 10, 15]] {
+        let sampler = NeighborSampler::new(fanouts.clone());
+        group.bench_with_input(
+            BenchmarkId::new("fanouts", format!("{fanouts:?}")),
+            &sampler,
+            |b, sampler| {
+                let s = seeds(256);
+                b.iter(|| {
+                    let mut rng = DeterministicRng::seed(7);
+                    black_box(sampler.sample(&g, &s, &FusedIdMap::new(), &mut rng))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_random_walk(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("random_walk_sampling");
+    group.sample_size(20);
+    let sampler = RandomWalkSampler::paper_default();
+    group.bench_function("pinsage_len3", |b| {
+        let s = seeds(256);
+        b.iter(|| {
+            let mut rng = DeterministicRng::seed(9);
+            black_box(sampler.sample(&g, &s, &FusedIdMap::new(), &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn bench_layer_wise(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("layer_wise_sampling");
+    group.sample_size(20);
+    let sampler = LayerWiseSampler::new(vec![512, 1024]);
+    group.bench_function("ladies_512_1024", |b| {
+        let s = seeds(256);
+        b.iter(|| {
+            let mut rng = DeterministicRng::seed(11);
+            black_box(sampler.sample(&g, &s, &FusedIdMap::new(), &mut rng))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbor, bench_random_walk, bench_layer_wise);
+criterion_main!(benches);

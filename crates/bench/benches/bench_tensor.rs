@@ -1,0 +1,70 @@
+//! Microbenchmarks of the dense kernels backing the GNN update phase.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastgl_tensor::loss::softmax_cross_entropy;
+use fastgl_tensor::ops::relu;
+use fastgl_tensor::Matrix;
+
+fn filled(rows: usize, cols: usize) -> Matrix {
+    let mut x = 1u64;
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect(),
+    )
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &(m, k, n) in &[(1_000usize, 200usize, 64usize), (4_000, 64, 64)] {
+        let a = filled(m, k);
+        let b = filled(k, n);
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("gemm", format!("{m}x{k}x{n}")),
+            &(a, b),
+            |bch, (a, b)| {
+                bch.iter(|| black_box(a.matmul(b)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_backward_gemms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_transposed");
+    group.sample_size(10);
+    let x = filled(2_000, 128);
+    let dy = filled(2_000, 64);
+    let w = filled(128, 64);
+    group.bench_function("dw_xT_dy", |b| {
+        b.iter(|| black_box(x.matmul_transpose_a(&dy)));
+    });
+    group.bench_function("dx_dy_wT", |b| {
+        b.iter(|| black_box(dy.matmul_transpose_b(&w)));
+    });
+    group.finish();
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementwise");
+    let x = filled(4_000, 64);
+    group.bench_function("relu_4kx64", |b| {
+        b.iter(|| black_box(relu(&x)));
+    });
+    let logits = filled(4_000, 47);
+    let labels: Vec<u32> = (0..4_000).map(|i| (i % 47) as u32).collect();
+    group.bench_function("softmax_xent_4kx47", |b| {
+        b.iter(|| black_box(softmax_cross_entropy(&logits, &labels)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_backward_gemms, bench_ops);
+criterion_main!(benches);

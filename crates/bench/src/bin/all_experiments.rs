@@ -1,0 +1,30 @@
+//! Runs every experiment of the paper's evaluation section in order,
+//! printing each report and writing all CSVs to `results/`.
+//!
+//! Set `FASTGL_QUICK=1` for a fast smoke pass, or pass experiment ids as
+//! arguments to run a subset (e.g. `all_experiments fig09_overall`).
+
+use std::time::Instant;
+
+fn main() {
+    let scale = fastgl_bench::BenchScale::from_env();
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let started = Instant::now();
+    for (id, runner) in fastgl_bench::experiments::all() {
+        if !filter.is_empty() && !filter.iter().any(|f| f == id) {
+            continue;
+        }
+        let t = Instant::now();
+        let report = runner(&scale);
+        print!("{}", report.to_text());
+        println!(
+            "[{} finished in {:.1}s]\n",
+            id,
+            t.elapsed().as_secs_f64()
+        );
+        if let Err(e) = report.write_csv(std::path::Path::new("results")) {
+            eprintln!("warning: could not write CSVs for {id}: {e}");
+        }
+    }
+    println!("all done in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the cross-device extension study `disc02_devices` and
+//! writes its CSVs to `results/`. Set `FASTGL_QUICK=1` for a smoke run.
+
+fn main() {
+    let scale = fastgl_bench::BenchScale::from_env();
+    let report = fastgl_bench::experiments::disc02_devices::run(&scale);
+    print!("{}", report.to_text());
+    if let Err(e) = report.write_csv(std::path::Path::new("results")) {
+        eprintln!("warning: could not write CSVs: {e}");
+    }
+}

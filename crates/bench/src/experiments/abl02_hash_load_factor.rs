@@ -1,0 +1,69 @@
+//! Ablation: Fused-Map hash-table load factor.
+//!
+//! The paper's Discussion argues Fused-Map scales to 2^64 nodes; the
+//! practical scaling limit is the table's memory, which invites shrinking
+//! it. This ablation sweeps the capacity headroom and measures the probe
+//! blow-up linear probing suffers as the table fills — quantifying why
+//! DGL-style tables (and ours) keep a 2x headroom.
+
+use crate::experiments::base_config;
+use crate::report::{fmt_secs, Report, Table};
+use crate::scale::BenchScale;
+use fastgl_core::sampler::SamplerEngine;
+use fastgl_graph::{Dataset, DeterministicRng};
+use fastgl_sample::{FusedIdMap, IdMap};
+
+/// Runs the experiment.
+pub fn run(scale: &BenchScale) -> Report {
+    let mut report = Report::new(
+        "abl02_hash_load_factor",
+        "Ablation: Fused-Map probe count vs hash-table headroom",
+    );
+    // One real sampled batch's concatenated ID stream from Products.
+    let data = scale.bundle(Dataset::Products);
+    let cfg = base_config(scale);
+    let sampler = SamplerEngine::new(&cfg);
+    let mut rng = DeterministicRng::seed(scale.seed ^ 21);
+    let seeds: Vec<_> = data
+        .train_nodes()
+        .iter()
+        .take(scale.batch_size as usize)
+        .copied()
+        .collect();
+    let (sg, _) = sampler.sample_batch(&data.graph, &seeds, &mut rng);
+    // A worst-case-ish stream: the subgraph's distinct nodes (unique keys
+    // load the table fully, unlike duplicate-heavy hop streams).
+    let ids: Vec<u64> = sg.nodes.iter().map(|n| n.0).collect();
+
+    let mut table = Table::new(
+        format!("{} distinct IDs from a sampled Products batch", ids.len()),
+        &["capacity factor", "table slots", "load factor", "probes", "probes/ID", "sim time"],
+    );
+    for factor in [4.0, 2.0, 1.5, 1.2, 1.05] {
+        let map = FusedIdMap::with_capacity_factor(factor);
+        let out = map.map(&ids);
+        let slots = ((ids.len() as f64 * factor).ceil() as usize)
+            .max(2)
+            .next_power_of_two();
+        let load = out.stats.unique_ids as f64 / slots as f64;
+        let sim_ns = out.stats.total_ids as f64 * cfg.system.cost.gpu_hash_op_ns
+            + out.stats.probes as f64 * cfg.system.cost.gpu_probe_ns
+            + out.stats.lookups as f64 * cfg.system.cost.gpu_lookup_ns;
+        table.push_row(vec![
+            format!("{factor:.2}"),
+            slots.to_string(),
+            format!("{load:.2}"),
+            out.stats.probes.to_string(),
+            format!("{:.2}", out.stats.probes as f64 / ids.len() as f64),
+            fmt_secs(sim_ns * 1e-9),
+        ]);
+    }
+    report.tables.push(table);
+    report.note(
+        "Expected shape: probes per ID stay near zero until the load factor \
+         passes ~0.7, then grow super-linearly — the classic linear-probing \
+         curve. The 2x headroom the systems use buys near-probe-free \
+         operation for 2x table memory (16 bytes per processed ID).",
+    );
+    report
+}

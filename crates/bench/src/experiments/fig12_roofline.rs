@@ -1,0 +1,77 @@
+//! Figure 12: roofline analysis of the aggregation phase on Products.
+//!
+//! Places the forward and backward aggregation of each framework on the
+//! 3090's roofline: all variants are memory-bound (operational intensity
+//! far left of the ridge point), and FastGL lifts achieved performance by
+//! raising the bandwidth actually delivered to the compute units.
+
+use crate::experiments::base_config;
+use crate::report::{Report, Table};
+use crate::scale::BenchScale;
+use fastgl_core::sampler::SamplerEngine;
+use fastgl_gnn::{census, ModelConfig, ModelKind};
+use fastgl_gpusim::roofline::{ridge_point, RooflinePoint};
+use fastgl_gpusim::{AggregationKernel, SubgraphLayerTrace};
+use fastgl_graph::{Dataset, DeterministicRng};
+
+/// Runs the experiment.
+pub fn run(scale: &BenchScale) -> Report {
+    let mut report = Report::new(
+        "fig12_roofline",
+        "Fig. 12: roofline of the GCN aggregation on Products (fwd+bwd)",
+    );
+    let data = scale.bundle(Dataset::Products);
+    let cfg = base_config(scale);
+    let sampler = SamplerEngine::new(&cfg);
+    let mut rng = DeterministicRng::seed(scale.seed ^ 12);
+    let seeds: Vec<_> = data
+        .train_nodes()
+        .iter()
+        .take(scale.batch_size as usize)
+        .copied()
+        .collect();
+    let (sg, _) = sampler.sample_batch(&data.graph, &seeds, &mut rng);
+    let model = ModelConfig::paper(ModelKind::Gcn, data.spec.feature_dim, data.spec.num_classes);
+    let workloads = census(&sg, &model.layer_dims());
+    let kernel = AggregationKernel::new(cfg.system.device.clone(), cfg.system.cost.clone())
+        .with_capacity_scale(data.spec.scale);
+
+    let mut table = Table::new(
+        "Aggregation of the widest block (forward; backward is symmetric)",
+        &["framework", "OI (FLOP/byte)", "achieved GFLOP/s", "roof GFLOP/s", "% of roof"],
+    );
+    let block = &sg.blocks[0];
+    let w = &workloads[0];
+    let trace = SubgraphLayerTrace {
+        offsets: &block.src_offsets,
+        sources: &block.src_locals,
+        num_sources: w.num_src_rows,
+        feature_dim: w.d_in,
+    };
+    let naive = kernel.naive_cost(&trace);
+    let ma = kernel.memory_aware_cost(&trace);
+    for (name, cost) in [("DGL (naive)", naive), ("FastGL (Memory-Aware)", ma)] {
+        let pt = RooflinePoint::from_profile(
+            &cfg.system.device,
+            &cost.profile,
+            cost.cost.time(),
+        );
+        table.push_row(vec![
+            name.into(),
+            format!("{:.2}", pt.operational_intensity),
+            format!("{:.0}", pt.achieved_gflops),
+            format!("{:.0}", pt.roof_gflops),
+            format!("{:.0}%", pt.efficiency() * 100.0),
+        ]);
+    }
+    report.tables.push(table);
+    report.note(format!(
+        "Ridge point of the simulated 3090: {:.1} FLOP/byte; the \
+         aggregation sits far left of it (memory bound), matching the \
+         paper. FastGL's higher OI (global traffic shed to shared memory) \
+         and delivered bandwidth yield up to ~4.2x the achieved GFLOP/s in \
+         the paper's figure.",
+        ridge_point(&cfg.system.device)
+    ));
+    report
+}

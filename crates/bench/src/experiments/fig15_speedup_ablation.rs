@@ -1,0 +1,61 @@
+//! Figure 15: where the overall speedup comes from.
+//!
+//! Average end-to-end speedup over DGL across all five datasets as the
+//! three techniques stack: +MR, +MR+MA, +MR+MA+FM (= FastGL).
+
+use crate::experiments::base_config;
+use crate::experiments::fig03_ablation_breakdown::staged_variants;
+use crate::report::{fmt_ratio, Report, Table};
+use crate::scale::BenchScale;
+use fastgl_core::{FastGl, TrainingSystem};
+use fastgl_graph::Dataset;
+
+/// Runs the experiment.
+pub fn run(scale: &BenchScale) -> Report {
+    let mut report = Report::new(
+        "fig15_speedup_ablation",
+        "Fig. 15: average overall speedup over DGL as techniques stack (GCN, 2 GPUs)",
+    );
+    let base = base_config(scale);
+    let variants = staged_variants(&base);
+    // Geometric-mean speedup across datasets per variant, DGL-equivalent
+    // ('Naive') as the baseline.
+    let mut per_dataset: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for dataset in Dataset::ALL {
+        let data = scale.bundle(dataset);
+        let mut naive_time = None;
+        for (i, (_, cfg)) in variants.iter().enumerate() {
+            let t = FastGl::new(cfg.clone())
+                .run_epochs(&data, scale.epochs)
+                .total()
+                .as_secs_f64();
+            if i == 0 {
+                naive_time = Some(t);
+            }
+            per_dataset[i].push(naive_time.expect("naive runs first") / t);
+        }
+    }
+    let mut table = Table::new(
+        "Average speedup over the DGL-equivalent baseline (5 datasets)",
+        &["variant", "avg speedup", "min", "max"],
+    );
+    for ((name, _), speedups) in variants.iter().zip(&per_dataset) {
+        let avg = speedups.iter().product::<f64>().powf(1.0 / speedups.len() as f64);
+        let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = speedups.iter().cloned().fold(0.0, f64::max);
+        table.push_row(vec![
+            (*name).into(),
+            fmt_ratio(avg),
+            fmt_ratio(min),
+            fmt_ratio(max),
+        ]);
+    }
+    report.tables.push(table);
+    report.note(
+        "Paper shape: Match-Reorder contributes the largest share (memory \
+         IO dominates), Memory-Aware adds roughly another 1.6x, and \
+         Fused-Map a smaller final increment because sampling is the \
+         smallest phase (31-51%) by then.",
+    );
+    report
+}

@@ -1,0 +1,82 @@
+//! Figure 16: training-loss convergence — FastGL vs DGL.
+//!
+//! FastGL computes the same gradients as DGL; only the mini-batch order
+//! within each sampled window differs (Reorder). Real GCN and GIN models
+//! train on a labelled community graph with and without reordering and
+//! must converge to approximately the same loss.
+
+use crate::report::{Report, Table};
+use crate::scale::BenchScale;
+use fastgl_core::trainer::{train, ConvergenceRun, TrainerConfig};
+use fastgl_gnn::ModelKind;
+use fastgl_graph::generate::community::{self, CommunityConfig};
+use fastgl_graph::NodeId;
+
+/// The labelled graph used for convergence runs: Reddit-like community
+/// structure at a size real training handles in seconds.
+pub fn convergence_graph(scale: &BenchScale) -> community::CommunityGraph {
+    let nodes = if scale.extra_factor < 1.0 { 1_500 } else { 4_000 };
+    community::generate(
+        &CommunityConfig {
+            num_nodes: nodes,
+            num_classes: 8,
+            intra_degree: 14.0,
+            inter_degree: 2.0,
+            feature_dim: 32,
+            feature_noise: 1.0,
+        },
+        scale.seed,
+    )
+}
+
+/// Trains with or without Reorder and returns the run.
+pub fn run_one(scale: &BenchScale, model: ModelKind, reorder: bool) -> ConvergenceRun {
+    let d = convergence_graph(scale);
+    let train_nodes: Vec<NodeId> = (0..d.graph.num_nodes() * 2 / 3).map(NodeId).collect();
+    let cfg = TrainerConfig {
+        model,
+        hidden_dim: 32,
+        fanouts: vec![4, 4],
+        batch_size: 256,
+        learning_rate: 0.01,
+        epochs: if scale.extra_factor < 1.0 { 3 } else { 6 },
+        reorder,
+        window: 4,
+        seed: scale.seed,
+    };
+    train(&d.graph, &d.features, &d.labels, &train_nodes, &cfg)
+}
+
+/// Runs the experiment.
+pub fn run(scale: &BenchScale) -> Report {
+    let mut report = Report::new(
+        "fig16_convergence",
+        "Fig. 16: training loss, FastGL (reordered) vs DGL (default order)",
+    );
+    for model in [ModelKind::Gcn, ModelKind::Gin] {
+        let dgl = run_one(scale, model, false);
+        let fastgl = run_one(scale, model, true);
+        let mut table = Table::new(
+            format!("{model}: mean loss per epoch (real training)"),
+            &["epoch", "DGL", "FastGL"],
+        );
+        for (e, (a, b)) in dgl.epoch_losses.iter().zip(&fastgl.epoch_losses).enumerate() {
+            table.push_row(vec![e.to_string(), format!("{a:.4}"), format!("{b:.4}")]);
+        }
+        report.tables.push(table);
+        report.note(format!(
+            "{model}: converged (tail) loss DGL {:.4} vs FastGL {:.4}; final \
+             train accuracy DGL {:.3} vs FastGL {:.3}.",
+            dgl.tail_loss(10),
+            fastgl.tail_loss(10),
+            dgl.final_accuracy,
+            fastgl.final_accuracy,
+        ));
+    }
+    report.note(
+        "Paper claim: FastGL converges to approximately the same loss as \
+         DGL — reordering mini-batches within a window does not change what \
+         is learned.",
+    );
+    report
+}

@@ -1,0 +1,82 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! Every experiment is a function `run(&BenchScale) -> Report`, registered
+//! in [`all`] so the `all_experiments` binary can regenerate the complete
+//! evaluation in one pass.
+
+pub mod abl01_reorder_window;
+pub mod abl02_hash_load_factor;
+pub mod disc01_future_bandwidth;
+pub mod disc02_devices;
+pub mod fig01_breakdown;
+pub mod fig03_ablation_breakdown;
+pub mod fig09_overall;
+pub mod fig10_memory_io;
+pub mod fig11_compute;
+pub mod fig12_roofline;
+pub mod fig13_sample_time;
+pub mod fig14_scalability;
+pub mod fig15_speedup_ablation;
+pub mod fig16_convergence;
+pub mod tab01_left_memory;
+pub mod tab02_cache_hit;
+pub mod tab03_memory_levels;
+pub mod tab04_match_degree;
+pub mod tab06_datasets;
+pub mod tab07_random_walk;
+pub mod tab08_id_map;
+pub mod tab09_memory_usage;
+
+use crate::report::Report;
+use crate::scale::BenchScale;
+use fastgl_core::FastGlConfig;
+
+/// The base configuration every experiment starts from: the paper's GCN,
+/// fanouts `[5, 10, 15]`, 2 GPUs, with the profile's batch size and seed.
+pub fn base_config(scale: &BenchScale) -> FastGlConfig {
+    FastGlConfig::default()
+        .with_batch_size(scale.batch_size)
+        .with_seed(scale.seed)
+}
+
+/// An experiment entry: id and runner.
+pub type Experiment = (&'static str, fn(&BenchScale) -> Report);
+
+/// Every experiment of the evaluation, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("fig01_breakdown", fig01_breakdown::run as _),
+        ("fig03_ablation_breakdown", fig03_ablation_breakdown::run as _),
+        ("tab01_left_memory", tab01_left_memory::run as _),
+        ("tab02_cache_hit", tab02_cache_hit::run as _),
+        ("tab03_memory_levels", tab03_memory_levels::run as _),
+        ("tab04_match_degree", tab04_match_degree::run as _),
+        ("tab06_datasets", tab06_datasets::run as _),
+        ("fig09_overall", fig09_overall::run as _),
+        ("fig10_memory_io", fig10_memory_io::run as _),
+        ("tab07_random_walk", tab07_random_walk::run as _),
+        ("fig11_compute", fig11_compute::run as _),
+        ("fig12_roofline", fig12_roofline::run as _),
+        ("fig13_sample_time", fig13_sample_time::run as _),
+        ("tab08_id_map", tab08_id_map::run as _),
+        ("fig14_scalability", fig14_scalability::run as _),
+        ("fig15_speedup_ablation", fig15_speedup_ablation::run as _),
+        ("tab09_memory_usage", tab09_memory_usage::run as _),
+        ("fig16_convergence", fig16_convergence::run as _),
+        ("disc01_future_bandwidth", disc01_future_bandwidth::run as _),
+        ("disc02_devices", disc02_devices::run as _),
+        ("abl01_reorder_window", abl01_reorder_window::run as _),
+        ("abl02_hash_load_factor", abl02_hash_load_factor::run as _),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_ids_match_modules_and_are_unique() {
+        let ids: Vec<&str> = super::all().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 22);
+        let set: std::collections::HashSet<&&str> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+}

@@ -1,0 +1,132 @@
+//! Table 1: GPU memory left over when training a 3-layer GCN (hidden 256,
+//! batch 8000) — the paper's argument that cache-based systems starve.
+//!
+//! This table is computed analytically at the datasets' *full published
+//! scale* (actually sampling a 111M-node graph is neither possible here
+//! nor necessary): the neighbour-explosion estimator predicts the sampled
+//! subgraph size, and the memory model prices the resulting working set
+//! against the 3090's 24 GB.
+
+use crate::report::{fmt_bytes, Report, Table};
+use crate::scale::BenchScale;
+use fastgl_core::memory_model::{estimate_batch_memory, estimate_unique_nodes};
+use fastgl_gnn::{LayerWorkload, ModelConfig, ModelKind};
+use fastgl_gpusim::DeviceSpec;
+use fastgl_graph::Dataset;
+
+/// The paper's Table 1 reference values (bytes) for comparison notes.
+pub const PAPER_LEFT_MEMORY: [(&str, u64); 4] = [
+    ("RD", 13 * 1024 * 1024 * 1024),
+    ("PR", 11 * 1024 * 1024 * 1024),
+    ("MAG", 520 * 1024 * 1024),
+    ("PA", 1024 * 1024 * 1024),
+];
+
+/// Estimates the leftover memory for one dataset at full scale.
+pub fn left_memory(dataset: Dataset) -> u64 {
+    let spec = dataset.spec();
+    let fanouts = [5usize, 10, 15];
+    let batch = 8_000u64;
+    let model = ModelConfig::paper(ModelKind::Gcn, spec.feature_dim, spec.num_classes)
+        .with_hidden(256);
+    let dims = model.layer_dims();
+
+    // Frontier sizes per hop for the workload census.
+    let mut frontier = vec![batch.min(spec.num_nodes)];
+    for k in 1..=fanouts.len() {
+        frontier.push(estimate_unique_nodes(
+            spec.num_nodes,
+            spec.average_degree(),
+            batch,
+            &fanouts[..k],
+        ));
+    }
+    // Blocks run widest first: layer i has dst = frontier[L-1-i],
+    // src = frontier[L-i].
+    let l = fanouts.len();
+    let workloads: Vec<LayerWorkload> = (0..l)
+        .map(|i| {
+            let dst = frontier[l - 1 - i];
+            let src = frontier[l - i];
+            LayerWorkload {
+                num_dst: dst,
+                num_src_rows: src,
+                nnz: dst * (fanouts[l - 1 - i] as u64 + 1),
+                d_in: dims[i].0,
+                d_out: dims[i].1,
+            }
+        })
+        .collect();
+    let subgraph_nodes = *frontier.last().expect("non-empty");
+    let total_ids: u64 = workloads.iter().map(|w| w.num_dst + w.nnz).sum();
+    let topology_bytes = workloads.iter().map(|w| 8 * (2 * w.num_dst + w.nnz)).sum();
+    let est = estimate_batch_memory(
+        &workloads,
+        model.param_bytes(),
+        subgraph_nodes,
+        spec.feature_dim,
+        topology_bytes,
+        total_ids,
+        0,
+    );
+    // Two DGL-runtime terms beyond the lean working set: per-edge message
+    // buffers that autograd keeps for the backward scatter (4·nnz·d_out per
+    // layer), and the CUDA caching allocator's fragmentation slack on a
+    // workload this churny (~30 %).
+    let messages: u64 = workloads.iter().map(|w| 4 * w.nnz * w.d_out as u64).sum();
+    let used = ((est.total() - est.runtime + messages) as f64 * 1.3) as u64 + est.runtime;
+    DeviceSpec::rtx3090().global_bytes.saturating_sub(used)
+}
+
+/// Runs the experiment.
+pub fn run(_scale: &BenchScale) -> Report {
+    let mut report = Report::new(
+        "tab01_left_memory",
+        "Table 1: remaining GPU memory, 3-layer GCN, batch 8000, hidden 256 (full scale, analytic)",
+    );
+    let mut table = Table::new(
+        "Left memory on a 24 GB RTX 3090",
+        &["graph", "left memory (ours)", "left memory (paper)"],
+    );
+    for (dataset, (short, paper)) in Dataset::CORE4.iter().zip(PAPER_LEFT_MEMORY) {
+        let ours = left_memory(*dataset);
+        assert_eq!(dataset.short_name(), short);
+        table.push_row(vec![
+            dataset.short_name().into(),
+            fmt_bytes(ours),
+            fmt_bytes(paper),
+        ]);
+    }
+    report.tables.push(table);
+    report.note(
+        "Paper claim: small graphs (RD, PR) leave >10 GB for a feature \
+         cache; large graphs (MAG, PA) leave ~0.5-1 GB, starving \
+         cache-based designs. The ordering and the >10x gap between the \
+         two regimes are the reproduced shape.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_graphs_starve_small_graphs_do_not() {
+        // The claim of Table 1: RD leaves cache room, MAG/PA leave ~none.
+        let rd = left_memory(Dataset::Reddit);
+        let mag = left_memory(Dataset::Mag);
+        let pa = left_memory(Dataset::Papers100M);
+        assert!(rd > 8 * 1024 * 1024 * 1024, "RD left {rd}");
+        assert!(mag < 2 * 1024 * 1024 * 1024, "MAG left {mag}");
+        assert!(pa < 2 * 1024 * 1024 * 1024, "PA left {pa}");
+        assert!(rd > 10 * mag.max(1), "two-regime gap");
+    }
+
+    #[test]
+    fn report_has_one_row_per_core_dataset() {
+        let report = run(&crate::scale::BenchScale::quick());
+        assert_eq!(report.tables.len(), 1);
+        assert_eq!(report.tables[0].rows.len(), 4);
+    }
+}

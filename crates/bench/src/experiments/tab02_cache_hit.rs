@@ -1,0 +1,72 @@
+//! Table 2: L1/L2 hit rates and achieved GFLOP/s of the naive aggregation.
+//!
+//! The motivation for Memory-Aware computation: irregular neighbour
+//! gathers hit the 3090's L1 only ~3–5 % and L2 ~16–25 % of the time,
+//! pinning the naive kernel far below peak.
+
+use crate::experiments::base_config;
+use crate::report::{fmt_pct, Report, Table};
+use crate::scale::BenchScale;
+use fastgl_core::sampler::SamplerEngine;
+use fastgl_gnn::{census, ModelConfig, ModelKind};
+use fastgl_gpusim::{AggregationKernel, SubgraphLayerTrace};
+use fastgl_graph::{Dataset, DeterministicRng};
+
+/// Runs the experiment.
+pub fn run(scale: &BenchScale) -> Report {
+    let mut report = Report::new(
+        "tab02_cache_hit",
+        "Table 2: naive-aggregation L1/L2 hit rates and achieved GFLOP/s (forward)",
+    );
+    let mut table = Table::new(
+        "Measured on the widest sampled block, GCN forward aggregation",
+        &["graph", "L1 hit", "L2 hit", "GFLOP/s"],
+    );
+    let cfg = base_config(scale);
+    for dataset in Dataset::CORE4 {
+        let data = scale.bundle(dataset);
+        let sampler = SamplerEngine::new(&cfg);
+        let mut rng = DeterministicRng::seed(scale.seed ^ 2);
+        let seeds: Vec<_> = data
+            .train_nodes()
+            .iter()
+            .take(scale.batch_size as usize)
+            .copied()
+            .collect();
+        let (sg, _) = sampler.sample_batch(&data.graph, &seeds, &mut rng);
+        let model = ModelConfig::paper(ModelKind::Gcn, data.spec.feature_dim, data.spec.num_classes);
+        let workloads = census(&sg, &model.layer_dims());
+        // The widest (input-side) block dominates the aggregation traffic.
+        let block = &sg.blocks[0];
+        let w = &workloads[0];
+        // Replay against capacities scaled like the workload, so the
+        // cache-to-working-set ratio matches the paper's full-size regime.
+        let kernel = AggregationKernel::new(
+            cfg.system.device.clone(),
+            cfg.system.cost.clone(),
+        )
+        .with_capacity_scale(data.spec.scale);
+        let trace = SubgraphLayerTrace {
+            offsets: &block.src_offsets,
+            sources: &block.src_locals,
+            num_sources: w.num_src_rows,
+            feature_dim: w.d_in,
+        };
+        let cost = kernel.naive_cost(&trace);
+        table.push_row(vec![
+            dataset.short_name().into(),
+            fmt_pct(cost.l1.hit_rate()),
+            fmt_pct(cost.l2.hit_rate()),
+            format!("{:.0}", cost.gflops()),
+        ]);
+    }
+    report.tables.push(table);
+    report.note(
+        "Paper values: L1 3.3-5.1%, L2 15.7-24.6%, 340-401 GFLOP/s — both \
+         hit rates far below what a regular kernel achieves, and GFLOP/s \
+         around 1-2% of the 29,155 GFLOP/s peak. The reproduced shape is \
+         'low hit rates, single-digit-percent of peak'. Scaled subgraphs \
+         have smaller working sets, so absolute hit rates run higher here.",
+    );
+    report
+}

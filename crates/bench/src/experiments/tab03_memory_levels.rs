@@ -1,0 +1,46 @@
+//! Table 3: the simulated device's memory-level statistics.
+//!
+//! A configuration check rather than a measurement: the simulator must use
+//! exactly the hierarchy the paper's analysis (Eq. 3/4) assumes.
+
+use crate::report::{Report, Table};
+use crate::scale::BenchScale;
+use fastgl_gpusim::DeviceSpec;
+
+/// Runs the experiment.
+pub fn run(_scale: &BenchScale) -> Report {
+    let mut report = Report::new(
+        "tab03_memory_levels",
+        "Table 3: memory levels of the simulated RTX 3090",
+    );
+    let d = DeviceSpec::rtx3090();
+    let mut table = Table::new(
+        "Bandwidth and capacity per level",
+        &["level", "bandwidth", "capacity", "paper"],
+    );
+    table.push_row(vec![
+        "L1 cache / shared memory".into(),
+        format!("{:.0} TB/s", d.bw_shared / 1e12),
+        format!("{} KB per SM", d.l1_bytes_per_sm / 1024),
+        "~12 TB/s, 128 KB per SM".into(),
+    ]);
+    table.push_row(vec![
+        "L2 cache".into(),
+        format!("{:.0} TB/s", d.bw_l2 / 1e12),
+        format!("{} MB", d.l2_bytes / (1024 * 1024)),
+        "3-5 TB/s, 6 MB".into(),
+    ]);
+    table.push_row(vec![
+        "Global memory".into(),
+        format!("{:.0} GB/s", d.bw_global / 1e9),
+        format!("{} GB", d.global_bytes / (1024 * 1024 * 1024)),
+        "938 GB/s, 24 GB".into(),
+    ]);
+    report.tables.push(table);
+    report.note(format!(
+        "Peak FP32 throughput: {:.0} GFLOP/s (paper: 29,155); SMs: {}.",
+        d.peak_flops / 1e9,
+        d.sm_count
+    ));
+    report
+}

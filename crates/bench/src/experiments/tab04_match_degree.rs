@@ -1,0 +1,101 @@
+//! Table 4: average match degree and spread between sampled mini-batches.
+//!
+//! The premise of Match-Reorder: complex topology makes different sampled
+//! subgraphs share most of their nodes (up to 93 % on Reddit), and match
+//! degrees vary enough (ΔM of a few percent) that ordering matters.
+
+use crate::experiments::base_config;
+use crate::report::{fmt_pct, Report, Table};
+use crate::scale::BenchScale;
+use fastgl_core::sampler::SamplerEngine;
+use fastgl_graph::{Dataset, DeterministicRng, NodeId};
+use fastgl_sample::overlap::{match_degree_matrix, summarize_matrix};
+use fastgl_sample::MinibatchPlan;
+
+/// Paper Table 4 reference values: (graph, Avg(M_ij), ΔM).
+pub const PAPER_MATCH_DEGREE: [(&str, f64, f64); 4] = [
+    ("RD", 0.932, 0.049),
+    ("PR", 0.714, 0.070),
+    ("MAG", 0.353, 0.042),
+    ("PA", 0.380, 0.053),
+];
+
+/// Samples a window of mini-batches and summarises its match degrees.
+pub fn measure(scale: &BenchScale, dataset: Dataset, window: usize) -> (f64, f64) {
+    let data = scale.bundle(dataset);
+    let cfg = base_config(scale);
+    let sampler = SamplerEngine::new(&cfg);
+    let plan = MinibatchPlan::new(
+        data.train_nodes(),
+        scale.batch_size as usize,
+        scale.seed,
+        0,
+    );
+    let mut rng = DeterministicRng::seed(scale.seed ^ 4);
+    let sets: Vec<Vec<NodeId>> = plan
+        .iter()
+        .take(window)
+        .map(|seeds| {
+            sampler
+                .sample_batch(&data.graph, seeds, &mut rng)
+                .0
+                .sorted_global_ids()
+        })
+        .collect();
+    let summary = summarize_matrix(&match_degree_matrix(&sets));
+    (summary.average, summary.spread)
+}
+
+/// Runs the experiment.
+pub fn run(scale: &BenchScale) -> Report {
+    let mut report = Report::new(
+        "tab04_match_degree",
+        "Table 4: average match degree and ΔM across sampled mini-batches",
+    );
+    let mut table = Table::new(
+        "Uniform sampling, one reorder window",
+        &["graph", "Avg(Mij)", "ΔM", "paper Avg", "paper ΔM"],
+    );
+    for (dataset, (short, p_avg, p_spread)) in Dataset::CORE4.iter().zip(PAPER_MATCH_DEGREE) {
+        assert_eq!(dataset.short_name(), short);
+        let (avg, spread) = measure(scale, *dataset, 10);
+        table.push_row(vec![
+            dataset.short_name().into(),
+            fmt_pct(avg),
+            fmt_pct(spread),
+            fmt_pct(p_avg),
+            fmt_pct(p_spread),
+        ]);
+    }
+    report.tables.push(table);
+    report.note(
+        "Paper shape: Reddit's dense topology gives the highest overlap, \
+         Products is high, the big sparse graphs (MAG, PA) sit lower but \
+         still substantial; ΔM is a few percent everywhere, so the greedy \
+         reorder has signal to exploit.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_degrees_are_valid_and_ranked() {
+        let scale = crate::scale::BenchScale::quick();
+        let (rd_avg, rd_spread) = measure(&scale, Dataset::Reddit, 5);
+        let (pa_avg, pa_spread) = measure(&scale, Dataset::Papers100M, 5);
+        for v in [rd_avg, rd_spread, pa_avg, pa_spread] {
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        // The paper's ordering: dense Reddit overlaps more than sparse PA.
+        assert!(rd_avg > pa_avg, "RD {rd_avg} vs PA {pa_avg}");
+    }
+
+    #[test]
+    fn paper_reference_values_match_table4() {
+        assert_eq!(PAPER_MATCH_DEGREE[0], ("RD", 0.932, 0.049));
+        assert_eq!(PAPER_MATCH_DEGREE[3], ("PA", 0.380, 0.053));
+    }
+}

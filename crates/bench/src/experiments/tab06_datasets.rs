@@ -1,0 +1,67 @@
+//! Table 6: the benchmark datasets — and how faithfully the synthetic
+//! stand-ins reproduce their shape.
+//!
+//! The paper's Table 6 lists node/edge counts, feature widths, and class
+//! counts. Since this reproduction substitutes scaled R-MAT stand-ins for
+//! the real graphs, this experiment reports both the published full-scale
+//! statistics and the generated stand-ins' measured shape (average degree,
+//! skew) so every downstream result can be judged against the fidelity of
+//! its input.
+
+use crate::report::{fmt_pct, Report, Table};
+use crate::scale::BenchScale;
+use fastgl_graph::{Dataset, DegreeStats};
+
+/// Runs the experiment.
+pub fn run(scale: &BenchScale) -> Report {
+    let mut report = Report::new(
+        "tab06_datasets",
+        "Table 6: dataset statistics — published vs generated stand-ins",
+    );
+    let mut published = Table::new(
+        "Published full-scale statistics (paper Table 6)",
+        &["graph", "nodes", "edges", "features", "classes", "avg degree"],
+    );
+    for dataset in Dataset::ALL {
+        let spec = dataset.spec();
+        published.push_row(vec![
+            dataset.short_name().into(),
+            format!("{}", spec.num_nodes),
+            format!("{}", spec.num_edges),
+            spec.feature_dim.to_string(),
+            spec.num_classes.to_string(),
+            format!("{:.1}", spec.average_degree()),
+        ]);
+    }
+    report.tables.push(published);
+
+    let mut generated = Table::new(
+        "Generated stand-ins at benchmark scale (measured)",
+        &[
+            "graph", "scale", "nodes", "edges", "avg deg (target)", "avg deg (got)",
+            "degree gini", "top-1% edge share",
+        ],
+    );
+    for dataset in Dataset::ALL {
+        let bundle = scale.bundle(dataset);
+        let stats = DegreeStats::compute(&bundle.graph);
+        generated.push_row(vec![
+            dataset.short_name().into(),
+            format!("1/{:.0}", 1.0 / scale.factor(dataset)),
+            stats.num_nodes.to_string(),
+            stats.num_edges.to_string(),
+            format!("{:.1}", bundle.spec.average_degree()),
+            format!("{:.1}", stats.mean),
+            format!("{:.3}", stats.gini),
+            fmt_pct(stats.top1pct_edge_share),
+        ]);
+    }
+    report.tables.push(generated);
+    report.note(
+        "Fidelity criteria: generated average degree within ~2x of the \
+         published target (symmetrisation/dedup slack), heavy-tailed degree \
+         distribution (gini well above 0.3, top-1% owning a large edge \
+         share), feature widths and class counts identical by construction.",
+    );
+    report
+}

@@ -1,0 +1,262 @@
+//! Report rendering: aligned text tables plus CSV export.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One table of an experiment report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Table caption (e.g. "Table 8: ID map time (s)").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells for {} headers",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("| ");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{cell:<w$} | ");
+            }
+            s.trim_end().to_string()
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A full experiment report: id, description, and one or more tables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    /// Experiment identifier, e.g. "fig09".
+    pub id: String,
+    /// One-line description referencing the paper artefact.
+    pub description: String,
+    /// Narrative notes (what to look for, paper expectations).
+    pub notes: Vec<String>,
+    /// The tables.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new(id: impl Into<String>, description: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            description: description.into(),
+            notes: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Adds a narrative note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the full report as text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}\n", self.id, self.description);
+        for table in &self.tables {
+            out.push_str(&table.to_text());
+            out.push('\n');
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        out
+    }
+
+    /// Writes every table as `dir/<id>_<index>.csv`. Creates `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error encountered.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (i, table) in self.tables.iter().enumerate() {
+            let path = dir.join(format!("{}_{}.csv", self.id, i));
+            std::fs::write(path, table.to_csv())?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats seconds with 4 significant-ish digits.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.3}us", s * 1e6)
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+/// Formats bytes with binary units.
+pub fn fmt_bytes(b: u64) -> String {
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    let b = b as f64;
+    if b >= GB {
+        format!("{:.2}GB", b / GB)
+    } else if b >= MB {
+        format!("{:.1}MB", b / MB)
+    } else if b >= 1024.0 {
+        format!("{:.0}KB", b / 1024.0)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "22222".into()]);
+        t
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let text = table().to_text();
+        assert!(text.contains("## Demo"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", &["a"]);
+        t.push_row(vec!["v,w".into()]);
+        assert!(t.to_csv().contains("\"v,w\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells for")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn report_renders_notes_and_tables() {
+        let mut r = Report::new("fig00", "demo experiment");
+        r.tables.push(table());
+        r.note("expected shape holds");
+        let text = r.to_text();
+        assert!(text.contains("fig00"));
+        assert!(text.contains("note: expected"));
+    }
+
+    #[test]
+    fn csv_written_to_disk() {
+        let mut r = Report::new("t", "x");
+        r.tables.push(table());
+        let dir = std::env::temp_dir().join("fastgl_report_test");
+        r.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("t_0.csv")).unwrap();
+        assert!(content.starts_with("name,value"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(0.0025), "2.500ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.500us");
+        assert_eq!(fmt_ratio(2.345), "2.35x");
+        assert_eq!(fmt_pct(0.936), "93.6%");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.00GB");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2KB");
+    }
+}

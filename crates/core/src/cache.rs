@@ -1,0 +1,176 @@
+//! Static device-side feature cache (degree-ordered).
+//!
+//! PaGraph, GNNLab, and (when memory is left over) FastGL itself keep the
+//! hottest nodes' feature rows resident on the GPU so their loads never
+//! cross PCIe. Under power-law degree distributions the hottest nodes are
+//! the high-degree ones — the policy PaGraph uses directly and a close
+//! stand-in for GNNLab's pre-sampling-based hotness estimate.
+
+use fastgl_graph::{Csr, NodeId};
+
+/// An immutable set of cached node IDs with membership queries.
+///
+/// # Example
+///
+/// ```
+/// use fastgl_core::FeatureCache;
+/// use fastgl_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(5).symmetric(true);
+/// for i in 1..5 {
+///     b.push_edge(0, i); // node 0 is the hub
+/// }
+/// let cache = FeatureCache::degree_ordered(&b.build(), 1, 400);
+/// assert!(cache.contains(NodeId(0)));
+/// let load: Vec<NodeId> = (0..5).map(NodeId).collect();
+/// let (hits, misses) = cache.partition(&load);
+/// assert_eq!((hits, misses.len()), (1, 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureCache {
+    /// Sorted cached IDs.
+    cached: Vec<u64>,
+    row_bytes: u64,
+}
+
+impl FeatureCache {
+    /// Caches the `rows` highest-degree nodes of `graph`, each row holding
+    /// `row_bytes` of features.
+    pub fn degree_ordered(graph: &Csr, rows: u64, row_bytes: u64) -> Self {
+        let rows = rows.min(graph.num_nodes());
+        let mut cached: Vec<u64> = graph
+            .nodes_by_degree_desc()
+            .into_iter()
+            .take(rows as usize)
+            .map(|n| n.0)
+            .collect();
+        cached.sort_unstable();
+        Self { cached, row_bytes }
+    }
+
+    /// Caches the first `rows` nodes of an explicit ranking (e.g. the
+    /// pre-sampled hotness order GNNLab uses).
+    pub fn from_ranking(ranking: &[NodeId], rows: u64, row_bytes: u64) -> Self {
+        let rows = rows.min(ranking.len() as u64) as usize;
+        let mut cached: Vec<u64> = ranking[..rows].iter().map(|n| n.0).collect();
+        cached.sort_unstable();
+        cached.dedup();
+        Self { cached, row_bytes }
+    }
+
+    /// An empty cache.
+    pub fn empty() -> Self {
+        Self {
+            cached: Vec::new(),
+            row_bytes: 0,
+        }
+    }
+
+    /// Number of cached rows.
+    pub fn rows(&self) -> u64 {
+        self.cached.len() as u64
+    }
+
+    /// Device bytes the cache occupies.
+    pub fn bytes(&self) -> u64 {
+        self.rows() * self.row_bytes
+    }
+
+    /// Whether `node`'s features are resident.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.cached.binary_search(&node.0).is_ok()
+    }
+
+    /// Splits a **sorted** load list into `(hits, misses)`: hits are served
+    /// by the cache, misses must cross PCIe.
+    pub fn partition(&self, load: &[NodeId]) -> (u64, Vec<NodeId>) {
+        debug_assert!(load.windows(2).all(|w| w[0] < w[1]));
+        let mut hits = 0u64;
+        let mut misses = Vec::with_capacity(load.len());
+        let mut j = 0usize;
+        for &node in load {
+            while j < self.cached.len() && self.cached[j] < node.0 {
+                j += 1;
+            }
+            if j < self.cached.len() && self.cached[j] == node.0 {
+                hits += 1;
+                j += 1;
+            } else {
+                misses.push(node);
+            }
+        }
+        (hits, misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastgl_graph::GraphBuilder;
+
+    /// Star graph: node 0 has degree 4, others degree 1.
+    fn star() -> Csr {
+        GraphBuilder::new(5)
+            .symmetric(true)
+            .add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(0, 3)
+            .add_edge(0, 4)
+            .build()
+    }
+
+    #[test]
+    fn caches_highest_degree_first() {
+        let c = FeatureCache::degree_ordered(&star(), 1, 100);
+        assert!(c.contains(NodeId(0)));
+        assert!(!c.contains(NodeId(1)));
+        assert_eq!(c.rows(), 1);
+        assert_eq!(c.bytes(), 100);
+    }
+
+    #[test]
+    fn rows_clamped_to_graph() {
+        let c = FeatureCache::degree_ordered(&star(), 100, 8);
+        assert_eq!(c.rows(), 5);
+    }
+
+    #[test]
+    fn partition_splits_hits_and_misses() {
+        let c = FeatureCache::degree_ordered(&star(), 2, 8);
+        let load: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let (hits, misses) = c.partition(&load);
+        assert_eq!(hits, 2);
+        assert_eq!(misses.len(), 3);
+        for m in &misses {
+            assert!(!c.contains(*m));
+        }
+    }
+
+    #[test]
+    fn empty_cache_misses_everything() {
+        let c = FeatureCache::empty();
+        let load: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let (hits, misses) = c.partition(&load);
+        assert_eq!(hits, 0);
+        assert_eq!(misses.len(), 3);
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn from_ranking_respects_order_and_dedups() {
+        let ranking = [NodeId(9), NodeId(2), NodeId(9), NodeId(5)];
+        let c = FeatureCache::from_ranking(&ranking, 3, 8);
+        assert!(c.contains(NodeId(9)));
+        assert!(c.contains(NodeId(2)));
+        assert!(!c.contains(NodeId(5)), "rank 3 cut before node 5");
+        assert_eq!(c.rows(), 2, "duplicate rank entries collapse");
+    }
+
+    #[test]
+    fn partition_of_empty_load() {
+        let c = FeatureCache::degree_ordered(&star(), 2, 8);
+        let (hits, misses) = c.partition(&[]);
+        assert_eq!(hits, 0);
+        assert!(misses.is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Configuration of the FastGL training pipeline.
+
+use fastgl_gnn::ModelKind;
+use fastgl_gpusim::SystemSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which ID-map strategy the sampler uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IdMapKind {
+    /// DGL-style three-kernel map with synchronized local-ID assignment.
+    Baseline,
+    /// The paper's Fused-Map (Algorithm 2).
+    Fused,
+}
+
+/// Which device draws neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SampleDevice {
+    /// CPU sampling (PyG-style), low parallelism.
+    Cpu,
+    /// GPU sampling (DGL/GNNLab/FastGL-style).
+    Gpu,
+}
+
+/// How the computation phase accesses memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComputeMode {
+    /// Everything streams through L1/L2 from global memory (DGL/PyG).
+    Naive,
+    /// The paper's Memory-Aware shared-memory kernel (§4.2).
+    MemoryAware,
+    /// GNNAdvisor-style 2D workload management: improved cache locality
+    /// but a per-iteration preprocessing pass.
+    Advisor,
+}
+
+/// Which sampling algorithm drives the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplerKind {
+    /// K-hop uniform neighbour sampling with the configured fanouts.
+    Neighbor,
+    /// PinSAGE-style random walks (length 3), paper Table 7.
+    RandomWalk,
+    /// LADIES/FastGCN-style layer-wise importance sampling; the fanouts
+    /// are reinterpreted as per-layer node budgets (× batch size).
+    LayerWise,
+}
+
+/// Full configuration of a FastGL (or FastGL-derived baseline) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastGlConfig {
+    /// Simulated hardware.
+    pub system: SystemSpec,
+    /// Model family trained.
+    pub model: ModelKind,
+    /// Hidden width (64 in the paper's benchmarks).
+    pub hidden_dim: usize,
+    /// Mini-batch size (8000 in the paper; scale-adjusted in experiments).
+    pub batch_size: u64,
+    /// Per-hop fanouts, seeds outward (paper default `[5, 10, 15]`).
+    pub fanouts: Vec<usize>,
+    /// Sampling algorithm.
+    pub sampler: SamplerKind,
+    /// Mini-batches sampled per Reorder window (the `n` of Algorithm 1).
+    pub reorder_window: usize,
+    /// Fraction of the dataset's feature rows held in a device cache;
+    /// `None` auto-sizes to whatever memory remains (GNNLab-style).
+    pub cache_ratio: Option<f64>,
+    /// Enable the Match step (reuse of resident rows).
+    pub enable_match: bool,
+    /// Enable the greedy Reorder (Algorithm 1).
+    pub enable_reorder: bool,
+    /// Memory access mode of the computation phase.
+    pub compute_mode: ComputeMode,
+    /// ID-map strategy.
+    pub id_map: IdMapKind,
+    /// Sampling device.
+    pub sample_device: SampleDevice,
+    /// Master random seed.
+    pub seed: u64,
+}
+
+impl FastGlConfig {
+    /// Returns the config with a different batch size.
+    pub fn with_batch_size(mut self, batch_size: u64) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Returns the config with different fanouts.
+    pub fn with_fanouts(mut self, fanouts: Vec<usize>) -> Self {
+        self.fanouts = fanouts;
+        self
+    }
+
+    /// Returns the config with a different model.
+    pub fn with_model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Returns the config with a different GPU count.
+    pub fn with_gpus(mut self, num_gpus: usize) -> Self {
+        self.system.num_gpus = num_gpus;
+        self
+    }
+
+    /// Returns the config with an explicit cache ratio.
+    pub fn with_cache_ratio(mut self, ratio: f64) -> Self {
+        self.cache_ratio = Some(ratio);
+        self
+    }
+
+    /// Returns the config with a different hidden width.
+    pub fn with_hidden_dim(mut self, hidden_dim: usize) -> Self {
+        self.hidden_dim = hidden_dim;
+        self
+    }
+
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config using the random-walk sampler.
+    pub fn with_random_walk(mut self) -> Self {
+        self.sampler = SamplerKind::RandomWalk;
+        self
+    }
+
+    /// Returns the config using the layer-wise importance sampler.
+    pub fn with_layer_wise(mut self) -> Self {
+        self.sampler = SamplerKind::LayerWise;
+        self
+    }
+
+    /// Number of GNN layers implied by the sampler (one per hop for the
+    /// neighbour sampler; random walks build one block).
+    pub fn num_layers(&self) -> usize {
+        match self.sampler {
+            SamplerKind::Neighbor | SamplerKind::LayerWise => self.fanouts.len(),
+            SamplerKind::RandomWalk => 1,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if self.fanouts.is_empty() || self.fanouts.iter().any(|&f| f == 0) {
+            return Err("fanouts must be non-empty and positive".into());
+        }
+        if self.reorder_window < 2 && self.enable_reorder {
+            return Err("reorder needs a window of at least 2".into());
+        }
+        if let Some(r) = self.cache_ratio {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("cache_ratio {r} outside [0, 1]"));
+            }
+        }
+        if self.hidden_dim == 0 {
+            return Err("hidden_dim must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for FastGlConfig {
+    /// The paper's FastGL defaults: GCN, hidden 64, batch 8000, fanouts
+    /// `[5, 10, 15]`, 2 GPUs, all three techniques enabled, auto cache.
+    fn default() -> Self {
+        Self {
+            system: SystemSpec::rtx3090_server(2),
+            model: ModelKind::Gcn,
+            hidden_dim: 64,
+            batch_size: 8000,
+            fanouts: vec![5, 10, 15],
+            sampler: SamplerKind::Neighbor,
+            reorder_window: 8,
+            cache_ratio: None,
+            enable_match: true,
+            enable_reorder: true,
+            compute_mode: ComputeMode::MemoryAware,
+            id_map: IdMapKind::Fused,
+            sample_device: SampleDevice::Gpu,
+            seed: 0x5EED,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let c = FastGlConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.batch_size, 8000);
+        assert_eq!(c.fanouts, vec![5, 10, 15]);
+        assert_eq!(c.num_layers(), 3);
+        assert_eq!(c.compute_mode, ComputeMode::MemoryAware);
+        assert_eq!(c.id_map, IdMapKind::Fused);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = FastGlConfig::default()
+            .with_batch_size(2000)
+            .with_model(ModelKind::Gat)
+            .with_gpus(4)
+            .with_cache_ratio(0.25)
+            .with_fanouts(vec![5, 10])
+            .with_hidden_dim(128)
+            .with_seed(9);
+        c.validate().unwrap();
+        assert_eq!(c.batch_size, 2000);
+        assert_eq!(c.system.num_gpus, 4);
+        assert_eq!(c.cache_ratio, Some(0.25));
+        assert_eq!(c.num_layers(), 2);
+    }
+
+    #[test]
+    fn random_walk_has_one_layer() {
+        let c = FastGlConfig::default().with_random_walk();
+        assert_eq!(c.num_layers(), 1);
+    }
+
+    #[test]
+    fn layer_wise_matches_fanout_depth() {
+        let c = FastGlConfig::default().with_layer_wise();
+        assert_eq!(c.num_layers(), 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        assert!(FastGlConfig::default().with_batch_size(0).validate().is_err());
+        assert!(FastGlConfig::default()
+            .with_fanouts(vec![])
+            .validate()
+            .is_err());
+        assert!(FastGlConfig::default()
+            .with_fanouts(vec![5, 0])
+            .validate()
+            .is_err());
+        assert!(FastGlConfig::default()
+            .with_cache_ratio(1.5)
+            .validate()
+            .is_err());
+        assert!(FastGlConfig::default().with_hidden_dim(0).validate().is_err());
+        let mut c = FastGlConfig::default();
+        c.reorder_window = 1;
+        assert!(c.validate().is_err());
+    }
+}

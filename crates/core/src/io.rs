@@ -1,0 +1,102 @@
+//! The memory-IO engine: feature loads from host to device.
+//!
+//! Each load has two stages (paper §7): the host gathers scattered feature
+//! rows into a contiguous pinned buffer (sharing host-memory bandwidth with
+//! every other GPU's loader process), then the buffer crosses PCIe on the
+//! GPU's own link.
+
+use fastgl_gpusim::{PcieEngine, SimTime, SystemSpec};
+
+/// Prices feature loads for one GPU of a possibly multi-GPU system.
+#[derive(Debug, Clone)]
+pub struct IoEngine {
+    pcie: PcieEngine,
+    /// Host-gather slowdown from other GPUs' loader processes sharing the
+    /// host memory bus (≈ number of concurrently loading GPUs).
+    gather_contention: f64,
+}
+
+impl IoEngine {
+    /// An engine for a system where `concurrent_loaders` GPUs gather from
+    /// host memory at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrent_loaders == 0`.
+    pub fn new(spec: &SystemSpec, concurrent_loaders: usize) -> Self {
+        assert!(concurrent_loaders > 0, "need at least one loader");
+        Self {
+            pcie: PcieEngine::new(spec.host.clone()),
+            gather_contention: concurrent_loaders as f64,
+        }
+    }
+
+    /// Time to load `rows` feature rows of `row_bytes` each: contended host
+    /// gather plus the PCIe copy. Zero rows cost nothing.
+    pub fn load_rows(&mut self, rows: u64, row_bytes: u64) -> SimTime {
+        if rows == 0 {
+            return SimTime::ZERO;
+        }
+        let bytes = rows * row_bytes;
+        self.pcie.host_gather_time(bytes) * self.gather_contention + self.pcie.h2d(bytes)
+    }
+
+    /// Time for a small topology transfer (subgraph CSR); these are
+    /// prefetched and overlapped with compute in every system (paper §6.5),
+    /// so callers usually only account the latency component.
+    pub fn topology_transfer(&mut self, bytes: u64) -> SimTime {
+        self.pcie.h2d(bytes)
+    }
+
+    /// Feature bytes moved host→device so far.
+    pub fn bytes_h2d(&self) -> u64 {
+        self.pcie.h2d_total()
+    }
+
+    /// Resets the byte ledger.
+    pub fn reset(&mut self) {
+        self.pcie.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rows_free() {
+        let spec = SystemSpec::rtx3090_server(2);
+        let mut io = IoEngine::new(&spec, 1);
+        assert_eq!(io.load_rows(0, 400), SimTime::ZERO);
+        assert_eq!(io.bytes_h2d(), 0);
+    }
+
+    #[test]
+    fn load_time_scales_with_rows() {
+        let spec = SystemSpec::rtx3090_server(2);
+        let mut io = IoEngine::new(&spec, 1);
+        let t1 = io.load_rows(10_000, 400);
+        let t2 = io.load_rows(20_000, 400);
+        assert!(t2 > t1);
+        assert_eq!(io.bytes_h2d(), 30_000 * 400);
+    }
+
+    #[test]
+    fn contention_slows_gathers() {
+        let spec = SystemSpec::rtx3090_server(8);
+        let mut solo = IoEngine::new(&spec, 1);
+        let mut crowded = IoEngine::new(&spec, 8);
+        let t1 = solo.load_rows(100_000, 400);
+        let t8 = crowded.load_rows(100_000, 400);
+        assert!(t8 > t1);
+        // PCIe copy itself is per-GPU: the slowdown is less than 8x.
+        assert!(t8.as_secs_f64() < 8.0 * t1.as_secs_f64());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one loader")]
+    fn zero_loaders_rejected() {
+        let spec = SystemSpec::rtx3090_server(1);
+        let _ = IoEngine::new(&spec, 0);
+    }
+}

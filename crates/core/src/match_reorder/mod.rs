@@ -1,0 +1,14 @@
+//! Match-Reorder — the paper's memory-IO optimisation (§4.1).
+//!
+//! *Match* reuses the feature rows of nodes shared between the mini-batch
+//! leaving the GPU and the one arriving, so only the difference crosses
+//! PCIe; it costs no extra device memory because the departing batch's
+//! buffer must exist anyway. *Reorder* (Algorithm 1) greedily permutes a
+//! window of `n` sampled mini-batches so consecutive batches overlap as
+//! much as possible, maximising what Match can reuse.
+
+pub mod match_set;
+pub mod reorder;
+
+pub use match_set::{match_load_set, MatchResult};
+pub use reorder::greedy_reorder;

@@ -1,0 +1,152 @@
+//! Data-parallel multi-GPU arithmetic (paper §5 and Fig. 14a).
+//!
+//! FastGL trains data-parallel: training seeds shard round-robin across
+//! trainer GPUs, every GPU runs the full pipeline on its shard, and a ring
+//! all-reduce synchronises gradients each iteration. GNNLab additionally
+//! dedicates GPUs to sampling. This module collects the pure arithmetic of
+//! that organisation — shard sizing, host-gather contention, all-reduce
+//! cost, and GNNLab's sample-hiding — which [`crate::pipeline::Pipeline`]
+//! applies.
+
+use fastgl_gpusim::transfer::ring_allreduce_time;
+use fastgl_gpusim::{SimTime, SystemSpec};
+
+/// The GPU roles of one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuRoles {
+    /// GPUs running the training pipeline.
+    pub trainers: usize,
+    /// GPUs dedicated to sampling (GNNLab's factored design).
+    pub samplers: usize,
+}
+
+impl GpuRoles {
+    /// Splits `num_gpus` into roles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no GPU remains for training.
+    pub fn new(num_gpus: usize, samplers: usize) -> Self {
+        assert!(
+            samplers < num_gpus,
+            "at least one GPU must train ({num_gpus} GPUs, {samplers} samplers)"
+        );
+        Self {
+            trainers: num_gpus - samplers,
+            samplers,
+        }
+    }
+
+    /// Per-iteration gradient all-reduce time across the trainers.
+    pub fn allreduce_time(&self, spec: &SystemSpec, param_bytes: u64) -> SimTime {
+        if self.trainers <= 1 {
+            SimTime::ZERO
+        } else {
+            ring_allreduce_time(&spec.host, param_bytes, self.trainers)
+        }
+    }
+
+    /// Host-gather contention factor: the trainers' loader processes share
+    /// the host memory bus, so each sees roughly `trainers` times the solo
+    /// gather latency.
+    pub fn gather_contention(&self) -> f64 {
+        self.trainers as f64
+    }
+
+    /// GNNLab's visible sample time: `samplers` GPUs sample for all
+    /// `trainers`, overlapped with training; only the excess shows.
+    ///
+    /// With no dedicated samplers the sampling is on the critical path and
+    /// returned unchanged.
+    pub fn visible_sample_time(
+        &self,
+        shard_sample_total: SimTime,
+        train_total: SimTime,
+    ) -> SimTime {
+        if self.samplers == 0 {
+            return shard_sample_total;
+        }
+        let sampler_work =
+            shard_sample_total * (self.trainers as f64 / self.samplers as f64);
+        sampler_work.saturating_sub(train_total)
+    }
+}
+
+/// Expected parallel speedup of an epoch whose solo breakdown is
+/// `(sample, io, compute)` when run on `n` trainer GPUs, under this
+/// module's model (perfect shard parallelism, contended gathers, per-batch
+/// all-reduce). Used by tests and the scalability experiment as a
+/// closed-form cross-check of the pipeline's behaviour.
+pub fn ideal_epoch_time(
+    sample: SimTime,
+    io_gather: SimTime,
+    io_copy: SimTime,
+    compute: SimTime,
+    allreduce_total: SimTime,
+    trainers: usize,
+) -> SimTime {
+    assert!(trainers > 0, "need at least one trainer");
+    let n = trainers as u64;
+    // Sample, PCIe copies, and compute divide across shards; the host
+    // gather divides but is re-multiplied by contention (net unchanged).
+    sample / n + io_gather + io_copy / n + compute / n + allreduce_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn roles_split_and_validate() {
+        let r = GpuRoles::new(8, 2);
+        assert_eq!(r.trainers, 6);
+        assert_eq!(r.samplers, 2);
+        assert_eq!(r.gather_contention(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU must train")]
+    fn all_samplers_rejected() {
+        let _ = GpuRoles::new(2, 2);
+    }
+
+    #[test]
+    fn allreduce_zero_for_single_trainer() {
+        let spec = SystemSpec::rtx3090_server(2);
+        let solo = GpuRoles::new(2, 1);
+        assert_eq!(solo.allreduce_time(&spec, 1 << 20), SimTime::ZERO);
+        let duo = GpuRoles::new(2, 0);
+        assert!(duo.allreduce_time(&spec, 1 << 20) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn sample_hiding_semantics() {
+        let r = GpuRoles::new(2, 1); // 1 trainer, 1 sampler
+        // Sampler keeps up: fully hidden.
+        assert_eq!(r.visible_sample_time(t(100), t(500)), SimTime::ZERO);
+        // Sampler falls behind: the excess shows.
+        assert_eq!(r.visible_sample_time(t(800), t(500)), t(300));
+        // No dedicated sampler: nothing hidden.
+        let plain = GpuRoles::new(2, 0);
+        assert_eq!(plain.visible_sample_time(t(800), t(500)), t(800));
+    }
+
+    #[test]
+    fn two_samplers_halve_the_sampler_work() {
+        let r = GpuRoles::new(8, 2); // 6 trainers, 2 samplers
+        // Work = 6/2 * shard sample.
+        assert_eq!(r.visible_sample_time(t(100), SimTime::ZERO), t(300));
+    }
+
+    #[test]
+    fn ideal_scaling_is_sublinear_with_fixed_gather() {
+        let one = ideal_epoch_time(t(100), t(300), t(300), t(300), SimTime::ZERO, 1);
+        let four = ideal_epoch_time(t(100), t(300), t(300), t(300), t(20), 4);
+        let speedup = one.as_secs_f64() / four.as_secs_f64();
+        assert!(speedup > 1.5 && speedup < 4.0, "speedup {speedup}");
+    }
+}

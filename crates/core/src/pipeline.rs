@@ -1,0 +1,566 @@
+//! The training pipeline of Fig. 5: sample a window of mini-batches,
+//! reorder them, then alternate Match-loading and computation.
+//!
+//! The same [`Pipeline`] drives FastGL *and* every baseline — they differ
+//! only in the [`PipelinePolicy`] and [`FastGlConfig`] knobs (sample
+//! device, ID-map strategy, Match/Reorder, cache policy, compute mode,
+//! sample/compute overlap), which is exactly the comparison the paper
+//! makes by running all systems on identical hardware.
+//!
+//! Multi-GPU runs are data-parallel (paper §5): training seeds shard
+//! round-robin across trainer GPUs, each GPU trains its shard, and a ring
+//! all-reduce synchronises gradients every iteration. The pipeline
+//! simulates GPU 0's shard — the shards are statistically identical — and
+//! charges the all-reduce plus host-side gather contention from the other
+//! GPUs' loaders.
+
+use crate::cache::FeatureCache;
+use crate::compute::ComputeEngine;
+use crate::hotness::{rank_nodes, CacheRankPolicy, HotnessCounter};
+use crate::config::FastGlConfig;
+use crate::io::IoEngine;
+use crate::match_reorder::{greedy_reorder, match_load_set};
+use crate::memory_model::estimate_batch_memory;
+use crate::multi_gpu::GpuRoles;
+use crate::sampler::SamplerEngine;
+use crate::system::{EpochStats, TrainingSystem};
+use fastgl_gnn::{census, ModelConfig};
+use fastgl_gpusim::{PhaseBreakdown, SimTime};
+use fastgl_graph::{DatasetBundle, DeterministicRng, NodeId};
+use fastgl_sample::overlap::match_degree_matrix;
+use fastgl_sample::MinibatchPlan;
+
+/// How the device feature cache is sized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CachePolicy {
+    /// No cache (PyG, DGL, GNNAdvisor).
+    None,
+    /// Use whatever device memory the workload leaves over (GNNLab,
+    /// PaGraph, FastGL §5).
+    Auto,
+    /// Cache an explicit fraction of the dataset's feature rows
+    /// (the `cache ratio` sweep of Fig. 10a).
+    Ratio(f64),
+}
+
+/// The policy knobs that distinguish FastGL from the baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelinePolicy {
+    /// Reuse overlapping rows between consecutive resident batches.
+    pub use_match: bool,
+    /// Greedily reorder each sampled window (Algorithm 1).
+    pub use_reorder: bool,
+    /// Device feature-cache sizing.
+    pub cache: CachePolicy,
+    /// GPUs dedicated to sampling (GNNLab's factored design); 0 means
+    /// every GPU samples its own shard.
+    pub sampler_gpus: usize,
+    /// Whether sampling overlaps training (true for GNNLab, whose
+    /// dedicated sampler GPU hides sampling latency behind compute).
+    pub overlap_sample: bool,
+    /// How the cache ranks residents: by degree (PaGraph/FastGL) or by
+    /// pre-sampled hotness (GNNLab).
+    pub cache_rank: CacheRankPolicy,
+}
+
+impl PipelinePolicy {
+    /// The policy FastGL's own configuration flags imply.
+    pub fn from_config(config: &FastGlConfig) -> Self {
+        Self {
+            use_match: config.enable_match,
+            use_reorder: config.enable_reorder,
+            cache: match config.cache_ratio {
+                Some(r) => CachePolicy::Ratio(r),
+                None => CachePolicy::Auto,
+            },
+            sampler_gpus: 0,
+            overlap_sample: false,
+            cache_rank: CacheRankPolicy::Degree,
+        }
+    }
+}
+
+/// The generic sampling-based training pipeline.
+#[derive(Debug)]
+pub struct Pipeline {
+    name: &'static str,
+    config: FastGlConfig,
+    policy: PipelinePolicy,
+    compute: ComputeEngine,
+    sampler: SamplerEngine,
+    /// Lazily determined auto-cache size (rows), per pipeline lifetime.
+    auto_cache_rows: Option<u64>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.validate()` fails or the policy dedicates every
+    /// GPU to sampling.
+    pub fn new(name: &'static str, config: FastGlConfig, policy: PipelinePolicy) -> Self {
+        config.validate().expect("invalid pipeline configuration");
+        assert!(
+            policy.sampler_gpus < config.system.num_gpus,
+            "at least one GPU must train"
+        );
+        let compute = ComputeEngine::new(config.system.clone(), config.compute_mode, config.model);
+        let sampler = SamplerEngine::new(&config);
+        Self {
+            name,
+            config,
+            policy,
+            compute,
+            sampler,
+            auto_cache_rows: None,
+        }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &FastGlConfig {
+        &self.config
+    }
+
+    /// The pipeline's policy.
+    pub fn policy(&self) -> &PipelinePolicy {
+        &self.policy
+    }
+
+    fn roles(&self) -> GpuRoles {
+        GpuRoles::new(self.config.system.num_gpus, self.policy.sampler_gpus)
+    }
+
+    /// Sizes the feature cache for `data`, probing one batch when `Auto`.
+    fn build_cache(&mut self, data: &DatasetBundle) -> FeatureCache {
+        let row_bytes = data.spec.feature_dim as u64 * 4;
+        let rows = match self.policy.cache {
+            CachePolicy::None => 0,
+            CachePolicy::Ratio(r) => (data.graph.num_nodes() as f64 * r) as u64,
+            CachePolicy::Auto => match self.auto_cache_rows {
+                Some(rows) => rows,
+                None => {
+                    let rows = self.probe_auto_cache_rows(data);
+                    self.auto_cache_rows = Some(rows);
+                    rows
+                }
+            },
+        };
+        if rows == 0 {
+            return FeatureCache::empty();
+        }
+        match self.policy.cache_rank {
+            CacheRankPolicy::Degree => {
+                FeatureCache::degree_ordered(&data.graph, rows, row_bytes)
+            }
+            CacheRankPolicy::PreSampledHotness => {
+                let counter = self.presample_hotness(data);
+                let ranking = rank_nodes(
+                    CacheRankPolicy::PreSampledHotness,
+                    &data.graph,
+                    Some(&counter),
+                );
+                FeatureCache::from_ranking(&ranking, rows, row_bytes)
+            }
+        }
+    }
+
+    /// GNNLab's offline pre-sampling pass: sample a few probe batches and
+    /// count node appearances (not charged to epoch time).
+    fn presample_hotness(&self, data: &DatasetBundle) -> HotnessCounter {
+        let mut counter = HotnessCounter::new(data.graph.num_nodes());
+        let mut rng = DeterministicRng::seed(self.config.seed ^ 0x407E55).derive(3);
+        let plan = MinibatchPlan::new(
+            data.train_nodes(),
+            self.config.batch_size as usize,
+            self.config.seed ^ 0x407E55,
+            0,
+        );
+        for seeds in plan.iter().take(3) {
+            let (sg, _) = self.sampler.sample_batch(&data.graph, seeds, &mut rng);
+            counter.record(&sg);
+        }
+        counter
+    }
+
+    /// Samples one probe batch to estimate the working set, then sizes the
+    /// cache to the remaining device memory (GNNLab's offline profiling
+    /// phase, paid once, not charged to epoch time).
+    ///
+    /// Device capacity and the fixed runtime reservation are scaled by the
+    /// dataset's scale factor: the experiments shrink graphs ~100x, and a
+    /// full-size 24 GB device would cache every scaled dataset entirely,
+    /// erasing the memory-pressure regime the paper's large graphs are in.
+    fn probe_auto_cache_rows(&mut self, data: &DatasetBundle) -> u64 {
+        let model_cfg = self.model_config(data);
+        let dims = model_cfg.layer_dims();
+        let mut rng = DeterministicRng::seed(self.config.seed ^ 0xCAC4E).derive(7);
+        let seeds: Vec<NodeId> = data
+            .train_nodes()
+            .iter()
+            .take(self.config.batch_size as usize)
+            .copied()
+            .collect();
+        if seeds.is_empty() {
+            return 0;
+        }
+        let (sg, stats) = self.sampler.sample_batch(&data.graph, &seeds, &mut rng);
+        let workloads = census(&sg, &dims);
+        let scale = data.spec.scale.clamp(0.0, 1.0);
+        let est = crate::memory_model::estimate_batch_memory_with_runtime(
+            &workloads,
+            model_cfg.param_bytes(),
+            sg.num_nodes(),
+            data.spec.feature_dim,
+            sg.topology_bytes(),
+            stats.id_map.total_ids,
+            0,
+            (crate::memory_model::RUNTIME_RESERVED_BYTES as f64 * scale) as u64,
+        );
+        let capacity = (self.config.system.device.global_bytes as f64 * scale) as u64;
+        let remaining = est.remaining(capacity);
+        let row_bytes = data.spec.feature_dim as u64 * 4;
+        (remaining / row_bytes).min(data.graph.num_nodes())
+    }
+
+    fn model_config(&self, data: &DatasetBundle) -> ModelConfig {
+        ModelConfig::paper(
+            self.config.model,
+            data.spec.feature_dim,
+            data.spec.num_classes,
+        )
+        .with_layers(self.config.num_layers())
+        .with_hidden(self.config.hidden_dim)
+    }
+}
+
+impl TrainingSystem for Pipeline {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run_epoch(&mut self, data: &DatasetBundle, epoch: u64) -> EpochStats {
+        self.compute.set_workload_scale(data.spec.scale);
+        let roles = self.roles();
+        let trainer_gpus = roles.trainers;
+        let shards = data.split.shard_train(trainer_gpus);
+        let shard = &shards[0];
+        let plan = MinibatchPlan::new(
+            shard,
+            self.config.batch_size as usize,
+            self.config.seed ^ data.spec.dataset as u64,
+            epoch,
+        );
+        let cache = self.build_cache(data);
+        let model_cfg = self.model_config(data);
+        let dims = model_cfg.layer_dims();
+        let param_bytes = model_cfg.param_bytes();
+        let row_bytes = data.spec.feature_dim as u64 * 4;
+        let mut rng =
+            DeterministicRng::seed(self.config.seed ^ 0x9A9A ^ data.spec.dataset as u64)
+                .derive(epoch);
+        let mut io = IoEngine::new(&self.config.system, trainer_gpus);
+        let allreduce = roles.allreduce_time(&self.config.system, param_bytes);
+
+        let mut stats = EpochStats::default();
+        let mut sample_total = SimTime::ZERO;
+        let mut io_total = SimTime::ZERO;
+        let mut compute_total = SimTime::ZERO;
+        let mut l1_sum = 0.0;
+        let mut l2_sum = 0.0;
+        let mut gflops_sum = 0.0;
+        let mut resident: Vec<NodeId> = Vec::new();
+
+        let window = if self.policy.use_reorder {
+            self.config.reorder_window.max(2)
+        } else {
+            1
+        };
+        let batches: Vec<&[NodeId]> = plan.iter().collect();
+        for chunk in batches.chunks(window) {
+            // Fused-Map Sampler stage: sample the window's mini-batches.
+            let mut subgraphs = Vec::with_capacity(chunk.len());
+            for seeds in chunk {
+                let (sg, s_stats) = self.sampler.sample_batch(&data.graph, seeds, &mut rng);
+                let timing = self.sampler.sample_time(&s_stats, &self.config.system.cost);
+                sample_total += timing.total;
+                stats.id_map_time += timing.id_map;
+                stats.edges_sampled += s_stats.edges_sampled;
+                subgraphs.push((sg, s_stats));
+            }
+
+            // Reorder stage (Algorithm 1) over the window's node sets.
+            let node_sets: Vec<Vec<NodeId>> = subgraphs
+                .iter()
+                .map(|(sg, _)| sg.sorted_global_ids())
+                .collect();
+            let order: Vec<usize> = if self.policy.use_reorder && subgraphs.len() > 1 {
+                greedy_reorder(&match_degree_matrix(&node_sets))
+            } else {
+                (0..subgraphs.len()).collect()
+            };
+
+            // Match-load and compute, in the (re)ordered sequence.
+            for &idx in &order {
+                let (sg, s_stats) = &subgraphs[idx];
+                let incoming = &node_sets[idx];
+                let (load, reused) = if self.policy.use_match {
+                    let m = match_load_set(incoming, &resident);
+                    (m.load, m.reused)
+                } else {
+                    (incoming.clone(), 0)
+                };
+                let (cache_hits, misses) = cache.partition(&load);
+                io_total += io.load_rows(misses.len() as u64, row_bytes);
+                stats.rows_loaded += misses.len() as u64;
+                stats.rows_reused += reused;
+                stats.rows_cached += cache_hits;
+
+                let workloads = census(sg, &dims);
+                let comp = self.compute.batch_time(sg, &workloads);
+                compute_total += comp.time + allreduce;
+                l1_sum += comp.l1_hit_rate;
+                l2_sum += comp.l2_hit_rate;
+                gflops_sum += comp.aggregation_gflops;
+
+                let est = estimate_batch_memory(
+                    &workloads,
+                    param_bytes,
+                    sg.num_nodes(),
+                    data.spec.feature_dim,
+                    sg.topology_bytes(),
+                    s_stats.id_map.total_ids,
+                    cache.bytes(),
+                );
+                stats.peak_memory_bytes = stats.peak_memory_bytes.max(est.total());
+
+                resident = incoming.clone();
+                stats.iterations += 1;
+            }
+        }
+
+        // GNNLab's factored design: `sampler_gpus` GPUs sample for all
+        // trainers; the latency is hidden behind training unless the
+        // sampling work outruns it (paper Fig. 14d).
+        let visible_sample = if self.policy.overlap_sample {
+            roles.visible_sample_time(sample_total, io_total + compute_total)
+        } else {
+            sample_total
+        };
+
+        stats.breakdown = PhaseBreakdown {
+            sample: visible_sample,
+            io: io_total,
+            compute: compute_total,
+        };
+        stats.bytes_h2d = io.bytes_h2d();
+        if stats.iterations > 0 {
+            let inv = 1.0 / stats.iterations as f64;
+            stats.l1_hit_rate = l1_sum * inv;
+            stats.l2_hit_rate = l2_sum * inv;
+            stats.aggregation_gflops = gflops_sum * inv;
+        }
+        stats
+    }
+}
+
+/// The FastGL training system: the pipeline with all three of the paper's
+/// techniques enabled (Match-Reorder, Memory-Aware computation, Fused-Map
+/// sampling), plus the opportunistic feature cache of §5.
+#[derive(Debug)]
+pub struct FastGl {
+    inner: Pipeline,
+}
+
+impl FastGl {
+    /// Builds FastGL from its configuration; the policy follows the
+    /// config's ablation flags (`enable_match`, `enable_reorder`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: FastGlConfig) -> Self {
+        let policy = PipelinePolicy::from_config(&config);
+        Self {
+            inner: Pipeline::new("FastGL", config, policy),
+        }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &FastGlConfig {
+        self.inner.config()
+    }
+}
+
+impl TrainingSystem for FastGl {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn run_epoch(&mut self, data: &DatasetBundle, epoch: u64) -> EpochStats {
+        self.inner.run_epoch(data, epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ComputeMode, IdMapKind};
+    use fastgl_graph::Dataset;
+
+    fn small_data() -> DatasetBundle {
+        Dataset::Products.generate_scaled(1.0 / 1024.0, 11)
+    }
+
+    fn small_config() -> FastGlConfig {
+        FastGlConfig::default()
+            .with_batch_size(32)
+            .with_fanouts(vec![3, 5])
+    }
+
+    #[test]
+    fn fastgl_epoch_runs_and_accounts_phases() {
+        let data = small_data();
+        let mut sys = FastGl::new(small_config());
+        let s = sys.run_epoch(&data, 0);
+        assert!(s.iterations > 0);
+        assert!(s.breakdown.sample > SimTime::ZERO);
+        assert!(s.breakdown.compute > SimTime::ZERO);
+        assert!(s.total() > SimTime::ZERO);
+        assert_eq!(
+            s.rows_loaded + s.rows_reused + s.rows_cached > 0,
+            true,
+            "rows must be accounted"
+        );
+    }
+
+    #[test]
+    fn epochs_are_deterministic() {
+        let data = small_data();
+        let mut a = FastGl::new(small_config());
+        let mut b = FastGl::new(small_config());
+        assert_eq!(a.run_epoch(&data, 3), b.run_epoch(&data, 3));
+    }
+
+    #[test]
+    fn match_reduces_loaded_rows() {
+        let data = small_data();
+        let mut with_match = FastGl::new(small_config());
+        let mut cfg = small_config();
+        cfg.enable_match = false;
+        cfg.enable_reorder = false;
+        cfg.cache_ratio = Some(0.0);
+        let mut without = FastGl::new(cfg);
+        let mut cfg2 = small_config();
+        cfg2.cache_ratio = Some(0.0);
+        let mut match_only = FastGl::new(cfg2);
+        let s_without = without.run_epoch(&data, 0);
+        let s_match = match_only.run_epoch(&data, 0);
+        let _ = with_match.run_epoch(&data, 0);
+        assert!(
+            s_match.rows_loaded < s_without.rows_loaded,
+            "match {} vs naive {}",
+            s_match.rows_loaded,
+            s_without.rows_loaded
+        );
+        assert!(s_match.rows_reused > 0);
+        assert_eq!(s_without.rows_reused, 0);
+    }
+
+    #[test]
+    fn fastgl_beats_naive_pipeline_end_to_end() {
+        let data = small_data();
+        let mut fast = FastGl::new(small_config());
+        let mut naive_cfg = small_config();
+        naive_cfg.enable_match = false;
+        naive_cfg.enable_reorder = false;
+        naive_cfg.cache_ratio = Some(0.0);
+        naive_cfg.compute_mode = ComputeMode::Naive;
+        naive_cfg.id_map = IdMapKind::Baseline;
+        let mut naive = FastGl::new(naive_cfg);
+        let t_fast = fast.run_epoch(&data, 0).total();
+        let t_naive = naive.run_epoch(&data, 0).total();
+        let speedup = t_naive.as_secs_f64() / t_fast.as_secs_f64();
+        assert!(speedup > 1.2, "end-to-end speedup {speedup}");
+    }
+
+    #[test]
+    fn more_gpus_shrink_per_epoch_time_sublinearly() {
+        // Heavier per-batch work than the other tests so the all-reduce
+        // and gather-contention terms do not mask the shard parallelism.
+        let data = Dataset::Products.generate_scaled(1.0 / 256.0, 11);
+        let cfg = FastGlConfig::default()
+            .with_batch_size(64)
+            .with_fanouts(vec![5, 10]);
+        let mut one = FastGl::new(cfg.clone().with_gpus(1));
+        let mut four = FastGl::new(cfg.with_gpus(4));
+        let t1 = one.run_epoch(&data, 0).total().as_secs_f64();
+        let t4 = four.run_epoch(&data, 0).total().as_secs_f64();
+        let speedup = t1 / t4;
+        assert!(speedup > 1.5, "4-GPU speedup {speedup}");
+        assert!(speedup < 4.0, "scaling cannot be superlinear: {speedup}");
+    }
+
+    #[test]
+    fn explicit_cache_ratio_serves_rows() {
+        let data = small_data();
+        let mut cfg = small_config().with_cache_ratio(0.5);
+        cfg.enable_match = false;
+        cfg.enable_reorder = false;
+        let mut sys = FastGl::new(cfg);
+        let s = sys.run_epoch(&data, 0);
+        assert!(s.rows_cached > 0);
+    }
+
+    #[test]
+    fn zero_cache_ratio_serves_none() {
+        let data = small_data();
+        let mut cfg = small_config().with_cache_ratio(0.0);
+        cfg.enable_match = false;
+        let mut sys = FastGl::new(cfg);
+        let s = sys.run_epoch(&data, 0);
+        assert_eq!(s.rows_cached, 0);
+    }
+
+    #[test]
+    fn overlap_hides_sampling_when_dedicated_gpu() {
+        let data = small_data();
+        let cfg = small_config(); // 2 GPUs
+        let policy = PipelinePolicy {
+            use_match: false,
+            use_reorder: false,
+            cache: CachePolicy::None,
+            sampler_gpus: 1,
+            overlap_sample: true,
+            cache_rank: crate::hotness::CacheRankPolicy::Degree,
+        };
+        let mut factored = Pipeline::new("factored", cfg.clone(), policy);
+        let mut plain_policy = policy;
+        plain_policy.sampler_gpus = 0;
+        plain_policy.overlap_sample = false;
+        let mut plain = Pipeline::new("plain", cfg, plain_policy);
+        let s_f = factored.run_epoch(&data, 0);
+        let s_p = plain.run_epoch(&data, 0);
+        assert!(
+            s_f.breakdown.sample < s_p.breakdown.sample,
+            "overlap must hide sampling: {} vs {}",
+            s_f.breakdown.sample,
+            s_p.breakdown.sample
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU must train")]
+    fn all_sampler_gpus_rejected() {
+        let cfg = small_config().with_gpus(1);
+        let policy = PipelinePolicy {
+            use_match: false,
+            use_reorder: false,
+            cache: CachePolicy::None,
+            sampler_gpus: 1,
+            overlap_sample: true,
+            cache_rank: crate::hotness::CacheRankPolicy::Degree,
+        };
+        let _ = Pipeline::new("bad", cfg, policy);
+    }
+}

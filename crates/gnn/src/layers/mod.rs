@@ -1,0 +1,147 @@
+//! GNN layers with hand-derived backward passes.
+
+pub mod gat;
+pub mod gcn;
+pub mod gin;
+pub mod sage;
+
+use fastgl_sample::Block;
+use fastgl_tensor::{Matrix, Optimizer};
+
+/// A GNN layer operating on one subgraph block.
+///
+/// `forward` caches whatever `backward` needs; `backward` accumulates
+/// parameter gradients internally and returns the gradient with respect to
+/// the layer input; `apply_grads` consumes the accumulated gradients via an
+/// optimiser and returns how many optimiser slots the layer used (so a
+/// model can hand each layer a disjoint slot range).
+pub trait GnnLayer {
+    /// Computes the layer output over the block's destination nodes from
+    /// `input`, whose rows cover the block's source ID space.
+    fn forward(&mut self, block: &Block, input: &Matrix) -> Matrix;
+
+    /// Backpropagates `grad_out` (rows = destinations), returning the
+    /// gradient with respect to `input` and accumulating parameter grads.
+    fn backward(&mut self, block: &Block, grad_out: &Matrix) -> Matrix;
+
+    /// Applies and clears accumulated parameter gradients.
+    fn apply_grads(&mut self, opt: &mut dyn Optimizer, slot_base: usize) -> usize;
+
+    /// Input feature dimensionality.
+    fn input_dim(&self) -> usize;
+
+    /// Output feature dimensionality.
+    fn output_dim(&self) -> usize;
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize;
+
+    /// The layer's parameter matrices, in a stable order.
+    fn params(&self) -> Vec<&Matrix>;
+
+    /// Mutable access to the same matrices, in the same order.
+    fn params_mut(&mut self) -> Vec<&mut Matrix>;
+}
+
+/// Column-wise sums of a matrix as a `1 × cols` bias-gradient row.
+pub(crate) fn column_sums(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(1, m.cols());
+    for r in 0..m.rows() {
+        let row = m.row(r);
+        let acc = out.row_mut(0);
+        for (a, &v) in acc.iter_mut().zip(row) {
+            *a += v;
+        }
+    }
+    out
+}
+
+/// Adds a bias row to every row of `m` in place.
+pub(crate) fn add_bias(m: &mut Matrix, bias: &Matrix) {
+    debug_assert_eq!(bias.rows(), 1);
+    debug_assert_eq!(bias.cols(), m.cols());
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        for (x, &b) in row.iter_mut().zip(bias.row(0)) {
+            *x += b;
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use fastgl_sample::Block;
+
+    /// A tiny block: 2 destinations over 4 source rows.
+    /// dst 0 <- {0, 2, 3}, dst 1 <- {1, 3}.
+    pub fn tiny_block() -> Block {
+        Block {
+            dst_locals: vec![0, 1],
+            src_offsets: vec![0, 3, 5],
+            src_locals: vec![0, 2, 3, 1, 3],
+        }
+    }
+
+    /// Deterministic pseudo-random input of the given shape.
+    pub fn input(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Checks `layer`'s input gradient against central finite differences
+    /// of the scalar loss `<upstream, forward(input)>`.
+    pub fn check_input_gradient<L: GnnLayer>(
+        make_layer: impl Fn() -> L,
+        block: &Block,
+        input: &Matrix,
+        upstream: &Matrix,
+        tol: f32,
+    ) {
+        let mut layer = make_layer();
+        layer.forward(block, input);
+        let grad = layer.backward(block, upstream);
+        let loss = |m: &Matrix| -> f32 {
+            let mut l = make_layer();
+            let out = l.forward(block, m);
+            out.as_slice()
+                .iter()
+                .zip(upstream.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-2;
+        for i in 0..input.as_slice().len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            let an = grad.as_slice()[i];
+            assert!(
+                (fd - an).abs() < tol,
+                "input grad[{i}]: finite-diff {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn column_sums_sum_columns() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(column_sums(&m).as_slice(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn add_bias_broadcasts() {
+        let mut m = Matrix::zeros(2, 2);
+        let b = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        add_bias(&mut m, &b);
+        assert_eq!(m.as_slice(), &[1.0, -1.0, 1.0, -1.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Device global-memory accounting.
+//!
+//! The paper's Tables 1 and 9 hinge on how much of the 24 GB device memory
+//! each system consumes: caching schemes (PaGraph, GNNLab) need leftover
+//! memory, which large sampled subgraphs eat up. This module tracks named
+//! allocations against a fixed capacity so those tables can be regenerated.
+
+use crate::spec::DeviceSpec;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error returned when an allocation exceeds the remaining capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryError {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes still available.
+    pub available: u64,
+    /// Label of the failed allocation.
+    pub label: String,
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of device memory: '{}' requested {} bytes, {} available",
+            self.label, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Tracks named allocations against a device's global memory capacity.
+///
+/// # Example
+///
+/// ```
+/// use fastgl_gpusim::{DeviceMemory, DeviceSpec};
+///
+/// let mut mem = DeviceMemory::new(&DeviceSpec::rtx3090());
+/// mem.allocate("model", 1 << 30)?;
+/// assert_eq!(mem.used(), 1 << 30);
+/// mem.free("model");
+/// assert_eq!(mem.used(), 0);
+/// # Ok::<(), fastgl_gpusim::MemoryError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceMemory {
+    capacity: u64,
+    allocations: BTreeMap<String, u64>,
+}
+
+impl DeviceMemory {
+    /// An empty memory of the device's capacity.
+    pub fn new(spec: &DeviceSpec) -> Self {
+        Self::with_capacity(spec.global_bytes)
+    }
+
+    /// An empty memory with an explicit capacity in bytes.
+    pub fn with_capacity(capacity: u64) -> Self {
+        Self {
+            capacity,
+            allocations: BTreeMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.allocations.values().sum()
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Allocates `bytes` under `label`, accumulating if the label exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] when `bytes` exceeds the remaining capacity;
+    /// the allocation map is unchanged on error.
+    pub fn allocate(&mut self, label: &str, bytes: u64) -> Result<(), MemoryError> {
+        if bytes > self.remaining() {
+            return Err(MemoryError {
+                requested: bytes,
+                available: self.remaining(),
+                label: label.to_string(),
+            });
+        }
+        *self.allocations.entry(label.to_string()).or_insert(0) += bytes;
+        Ok(())
+    }
+
+    /// Releases the allocation under `label`, returning its size (0 if the
+    /// label was unknown).
+    pub fn free(&mut self, label: &str) -> u64 {
+        self.allocations.remove(label).unwrap_or(0)
+    }
+
+    /// Replaces the allocation under `label` with a new size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] if the new size does not fit once the old
+    /// allocation is released; in that case the old allocation is restored.
+    pub fn resize(&mut self, label: &str, bytes: u64) -> Result<(), MemoryError> {
+        let old = self.free(label);
+        match self.allocate(label, bytes) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.allocate(label, old).expect("restoring must fit");
+                Err(e)
+            }
+        }
+    }
+
+    /// Size of the allocation under `label`, if any.
+    pub fn allocation(&self, label: &str) -> Option<u64> {
+        self.allocations.get(label).copied()
+    }
+
+    /// Iterator over `(label, bytes)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.allocations.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_free_cycle() {
+        let mut mem = DeviceMemory::with_capacity(1000);
+        mem.allocate("a", 400).unwrap();
+        mem.allocate("b", 500).unwrap();
+        assert_eq!(mem.used(), 900);
+        assert_eq!(mem.remaining(), 100);
+        assert_eq!(mem.free("a"), 400);
+        assert_eq!(mem.remaining(), 500);
+        assert_eq!(mem.free("a"), 0);
+    }
+
+    #[test]
+    fn over_allocation_fails_cleanly() {
+        let mut mem = DeviceMemory::with_capacity(100);
+        mem.allocate("a", 60).unwrap();
+        let err = mem.allocate("b", 50).unwrap_err();
+        assert_eq!(err.requested, 50);
+        assert_eq!(err.available, 40);
+        assert_eq!(mem.used(), 60, "failed allocation must not change state");
+    }
+
+    #[test]
+    fn same_label_accumulates() {
+        let mut mem = DeviceMemory::with_capacity(100);
+        mem.allocate("a", 30).unwrap();
+        mem.allocate("a", 20).unwrap();
+        assert_eq!(mem.allocation("a"), Some(50));
+    }
+
+    #[test]
+    fn resize_replaces() {
+        let mut mem = DeviceMemory::with_capacity(100);
+        mem.allocate("a", 80).unwrap();
+        mem.resize("a", 40).unwrap();
+        assert_eq!(mem.allocation("a"), Some(40));
+        mem.resize("a", 100).unwrap();
+        assert_eq!(mem.used(), 100);
+    }
+
+    #[test]
+    fn resize_failure_restores_old() {
+        let mut mem = DeviceMemory::with_capacity(100);
+        mem.allocate("a", 50).unwrap();
+        mem.allocate("b", 40).unwrap();
+        let err = mem.resize("a", 70).unwrap_err();
+        assert_eq!(err.available, 60);
+        assert_eq!(mem.allocation("a"), Some(50));
+    }
+
+    #[test]
+    fn from_device_spec() {
+        let mem = DeviceMemory::new(&DeviceSpec::rtx3090());
+        assert_eq!(mem.capacity(), 24 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn iter_lists_labels() {
+        let mut mem = DeviceMemory::with_capacity(100);
+        mem.allocate("b", 1).unwrap();
+        mem.allocate("a", 2).unwrap();
+        let items: Vec<_> = mem.iter().collect();
+        assert_eq!(items, vec![("a", 2), ("b", 1)]);
+    }
+
+    #[test]
+    fn error_display_mentions_label() {
+        let mut mem = DeviceMemory::with_capacity(10);
+        let err = mem.allocate("features", 20).unwrap_err();
+        assert!(err.to_string().contains("features"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Hardware specifications of the simulated system.
+//!
+//! The default device reproduces the NVIDIA RTX 3090 as characterised by
+//! Table 3 of the paper (bandwidth and capacity of each memory level) plus
+//! its public peak-FLOP figure; the default host models the paper's PCIe
+//! 4.0 ×16 link and EPYC-class CPU.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable model name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// L1 cache / shared memory capacity per SM, bytes (unified pool).
+    pub l1_bytes_per_sm: u64,
+    /// L2 cache capacity, bytes.
+    pub l2_bytes: u64,
+    /// Global (device) memory capacity, bytes.
+    pub global_bytes: u64,
+    /// Shared-memory / L1 bandwidth, bytes per second (~12 TB/s on 3090).
+    pub bw_shared: f64,
+    /// L2 bandwidth, bytes per second (3–5 TB/s on 3090).
+    pub bw_l2: f64,
+    /// Global memory bandwidth, bytes per second (938 GB/s on 3090).
+    pub bw_global: f64,
+    /// Peak FP32 throughput, FLOP/s (29.15 TFLOP/s on 3090).
+    pub peak_flops: f64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Maximum threads per thread block (1024 on current hardware).
+    pub max_threads_per_block: u32,
+}
+
+impl DeviceSpec {
+    /// The RTX 3090 as described by the paper's Table 3.
+    pub fn rtx3090() -> Self {
+        Self {
+            name: "RTX 3090 (simulated)".to_string(),
+            sm_count: 82,
+            l1_bytes_per_sm: 128 * 1024,
+            l2_bytes: 6 * 1024 * 1024,
+            global_bytes: 24 * 1024 * 1024 * 1024,
+            bw_shared: 12.0e12,
+            bw_l2: 4.0e12,
+            bw_global: 938.0e9,
+            peak_flops: 29.15e12,
+            line_bytes: 128,
+            max_threads_per_block: 1024,
+        }
+    }
+}
+
+impl DeviceSpec {
+    /// An NVIDIA A100 (SXM, 80 GB): more SMs, a 40 MB L2, and HBM2e.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100 80GB (simulated)".to_string(),
+            sm_count: 108,
+            l1_bytes_per_sm: 192 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            global_bytes: 80 * 1024 * 1024 * 1024,
+            bw_shared: 19.0e12,
+            bw_l2: 6.0e12,
+            bw_global: 2_039.0e9,
+            peak_flops: 19.5e12,
+            line_bytes: 128,
+            max_threads_per_block: 1024,
+        }
+    }
+
+    /// An NVIDIA H100 (SXM, 80 GB): 50 MB L2 and HBM3.
+    pub fn h100() -> Self {
+        Self {
+            name: "H100 80GB (simulated)".to_string(),
+            sm_count: 132,
+            l1_bytes_per_sm: 228 * 1024,
+            l2_bytes: 50 * 1024 * 1024,
+            global_bytes: 80 * 1024 * 1024 * 1024,
+            bw_shared: 33.0e12,
+            bw_l2: 12.0e12,
+            bw_global: 3_350.0e9,
+            peak_flops: 66.9e12,
+            line_bytes: 128,
+            max_threads_per_block: 1024,
+        }
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::rtx3090()
+    }
+}
+
+/// Parameters of the simulated host and host–device interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Nominal PCIe bandwidth, bytes per second (32 GB/s for PCIe 4.0 ×16).
+    pub pcie_bw: f64,
+    /// Achievable fraction of the nominal PCIe bandwidth for large copies.
+    pub pcie_efficiency: f64,
+    /// Fixed per-transfer latency, nanoseconds (driver + DMA setup).
+    pub pcie_latency_ns: u64,
+    /// Host-memory gather bandwidth, bytes per second: the rate at which
+    /// the CPU can assemble scattered feature rows into a pinned staging
+    /// buffer (stage 1 of the memory IO phase, paper §7(3)).
+    pub gather_bw: f64,
+    /// Peer-to-peer bandwidth between GPUs for gradient all-reduce,
+    /// bytes per second.
+    pub p2p_bw: f64,
+}
+
+impl HostSpec {
+    /// PCIe 4.0 ×16 host as used in the paper's testbed. The per-transfer
+    /// latency is scaled down with the workload like the other fixed
+    /// overheads (see [`CostParams::default`]).
+    pub fn pcie4() -> Self {
+        Self {
+            pcie_bw: 32.0e9,
+            pcie_efficiency: 0.85,
+            pcie_latency_ns: 2_000,
+            gather_bw: 24.0e9,
+            p2p_bw: 20.0e9,
+        }
+    }
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        Self::pcie4()
+    }
+}
+
+/// Calibrated per-operation costs.
+///
+/// Each `*_ns` value is the *amortized* cost of one logical operation after
+/// accounting for the device's massive parallelism — e.g. a GPU performs
+/// billions of neighbour draws per second across its threads, so the
+/// per-draw cost is a fraction of a nanosecond of wall time even though a
+/// single draw takes far longer in isolation. The defaults are calibrated
+/// so the simulated phase breakdowns land in the regimes the paper reports
+/// (memory IO ≈ 50–77 % of a DGL epoch, ID map ≈ 70 % of the sample phase,
+/// and so on); see `EXPERIMENTS.md` for the calibration evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// GPU neighbour-draw cost per sampled edge (amortized), ns.
+    pub gpu_sample_edge_ns: f64,
+    /// CPU neighbour-draw cost per sampled edge (PyG-style sampling), ns.
+    pub cpu_sample_edge_ns: f64,
+    /// GPU hash-table operation (hash + first probe), ns per ID.
+    pub gpu_hash_op_ns: f64,
+    /// Additional linear-probe step, ns per probe.
+    pub gpu_probe_ns: f64,
+    /// Cost of a CAS retry caused by contention, ns per conflict.
+    pub gpu_cas_conflict_ns: f64,
+    /// Serialized cost per unique node of the baseline (DGL-style) local-ID
+    /// assignment, which synchronizes threads to avoid duplicate local IDs
+    /// (paper §3.3), ns.
+    pub gpu_sync_serialization_ns: f64,
+    /// Hash-lookup cost in the final global→local transform kernel, ns.
+    pub gpu_lookup_ns: f64,
+    /// Fixed kernel-launch overhead, ns.
+    pub kernel_launch_ns: u64,
+    /// Fraction of peak FLOPs a dense GEMM (the update phase) achieves.
+    pub gemm_efficiency: f64,
+    /// GNNAdvisor-style per-edge preprocessing cost (neighbour grouping and
+    /// renumbering executed before every iteration's computation), ns.
+    pub preprocess_edge_ns: f64,
+    /// Host-side bookkeeping per mini-batch (queueing, Python-level glue), ns.
+    pub per_batch_overhead_ns: u64,
+}
+
+impl Default for CostParams {
+    /// Defaults calibrated for the workspace's scaled-down graphs.
+    ///
+    /// Two deliberate departures from raw hardware values: the fixed
+    /// per-launch and per-batch overheads are set well below their
+    /// real-hardware magnitudes (≈5 µs and ≈0.1–1 ms). The experiments run
+    /// on graphs ~100× smaller than the paper's, which shrinks all
+    /// bandwidth- and count-proportional work by that factor while fixed
+    /// overheads would stay constant — letting them dominate would distort
+    /// every phase ratio that is bandwidth-determined at the paper's scale.
+    /// Scaling the fixed overheads along with the workload preserves the
+    /// paper's regime; see DESIGN.md §1.
+    fn default() -> Self {
+        Self {
+            gpu_sample_edge_ns: 2.0,
+            cpu_sample_edge_ns: 60.0,
+            gpu_hash_op_ns: 0.8,
+            gpu_probe_ns: 0.3,
+            gpu_cas_conflict_ns: 1.2,
+            gpu_sync_serialization_ns: 10.0,
+            gpu_lookup_ns: 0.4,
+            kernel_launch_ns: 800,
+            gemm_efficiency: 0.55,
+            preprocess_edge_ns: 8.0,
+            per_batch_overhead_ns: 25_000,
+        }
+    }
+}
+
+/// The full simulated system: device, host, cost calibration, GPU count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// GPU model parameters.
+    pub device: DeviceSpec,
+    /// Host and interconnect parameters.
+    pub host: HostSpec,
+    /// Calibrated per-operation costs.
+    pub cost: CostParams,
+    /// Number of identical GPUs in the machine.
+    pub num_gpus: usize,
+}
+
+impl SystemSpec {
+    /// The paper's testbed: RTX 3090s behind PCIe 4.0, `num_gpus` of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus == 0`.
+    pub fn rtx3090_server(num_gpus: usize) -> Self {
+        assert!(num_gpus > 0, "a system needs at least one GPU");
+        Self {
+            device: DeviceSpec::rtx3090(),
+            host: HostSpec::pcie4(),
+            cost: CostParams::default(),
+            num_gpus,
+        }
+    }
+
+    /// Effective PCIe bandwidth after the efficiency factor.
+    pub fn effective_pcie_bw(&self) -> f64 {
+        self.host.pcie_bw * self.host.pcie_efficiency
+    }
+}
+
+impl Default for SystemSpec {
+    fn default() -> Self {
+        Self::rtx3090_server(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx3090_matches_table3() {
+        let d = DeviceSpec::rtx3090();
+        assert_eq!(d.l1_bytes_per_sm, 131_072); // 128 KB per SM
+        assert_eq!(d.l2_bytes, 6 * 1024 * 1024); // 6 MB
+        assert_eq!(d.global_bytes, 24 * 1024 * 1024 * 1024); // 24 GB
+        assert!((d.bw_shared - 12.0e12).abs() < 1.0);
+        assert!((d.bw_global - 938.0e9).abs() < 1.0);
+        assert!((d.peak_flops - 29.15e12).abs() < 1e6);
+    }
+
+    #[test]
+    fn bandwidth_hierarchy_is_ordered_on_every_preset() {
+        for d in [DeviceSpec::rtx3090(), DeviceSpec::a100(), DeviceSpec::h100()] {
+            assert!(d.bw_shared > d.bw_l2, "{}", d.name);
+            assert!(d.bw_l2 > d.bw_global, "{}", d.name);
+            assert!(d.l2_bytes > d.l1_bytes_per_sm, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn datacenter_parts_outclass_the_3090_where_expected() {
+        let consumer = DeviceSpec::rtx3090();
+        let a100 = DeviceSpec::a100();
+        assert!(a100.bw_global > 2.0 * consumer.bw_global, "HBM vs GDDR");
+        assert!(a100.l2_bytes > 6 * consumer.l2_bytes);
+        // FP32 peak is where the 3090 keeps up (no tensor cores modelled).
+        assert!(a100.peak_flops < consumer.peak_flops * 1.1);
+    }
+
+    #[test]
+    fn system_effective_bandwidth() {
+        let s = SystemSpec::rtx3090_server(2);
+        assert!(s.effective_pcie_bw() < s.host.pcie_bw);
+        assert!(s.effective_pcie_bw() > 0.5 * s.host.pcie_bw);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_rejected() {
+        let _ = SystemSpec::rtx3090_server(0);
+    }
+
+    #[test]
+    fn cpu_sampling_much_slower_than_gpu() {
+        let c = CostParams::default();
+        assert!(c.cpu_sample_edge_ns > 10.0 * c.gpu_sample_edge_ns);
+    }
+
+    #[test]
+    fn sync_serialization_dominates_hash_cost() {
+        // The premise of Fused-Map (paper §3.3): the baseline's local-ID
+        // synchronization is far more expensive than the hashing itself.
+        let c = CostParams::default();
+        assert!(c.gpu_sync_serialization_ns > 3.0 * c.gpu_hash_op_ns);
+    }
+}

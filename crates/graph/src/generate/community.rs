@@ -1,0 +1,213 @@
+//! Planted-partition generator with correlated features and labels.
+//!
+//! The convergence experiment of the paper (Fig. 16) trains real models to a
+//! real loss, which requires a graph whose features and labels carry signal.
+//! This generator plants `k` communities: nodes connect mostly within their
+//! community, node features are noisy copies of a community centroid, and
+//! the label is the community — the classic setting in which GCN-style
+//! models provably learn.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::features::FeatureStore;
+use crate::rng::DeterministicRng;
+
+/// Parameters of the planted-partition generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommunityConfig {
+    /// Number of nodes.
+    pub num_nodes: u64,
+    /// Number of planted communities (= classes).
+    pub num_classes: usize,
+    /// Average intra-community degree per node.
+    pub intra_degree: f64,
+    /// Average inter-community degree per node.
+    pub inter_degree: f64,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Standard deviation of feature noise around the community centroid.
+    pub feature_noise: f32,
+}
+
+impl Default for CommunityConfig {
+    fn default() -> Self {
+        Self {
+            num_nodes: 10_000,
+            num_classes: 8,
+            intra_degree: 10.0,
+            inter_degree: 2.0,
+            feature_dim: 64,
+            feature_noise: 1.0,
+        }
+    }
+}
+
+/// A generated community graph: topology, features, labels.
+#[derive(Debug, Clone)]
+pub struct CommunityGraph {
+    /// Symmetric adjacency.
+    pub graph: Csr,
+    /// Materialized node features (`num_nodes x feature_dim`).
+    pub features: FeatureStore,
+    /// Per-node class label in `[0, num_classes)`.
+    pub labels: Vec<u32>,
+}
+
+/// Generates a planted-partition graph. Deterministic in `(config, seed)`.
+///
+/// # Panics
+///
+/// Panics if `num_nodes == 0`, `num_classes == 0`, or `feature_dim == 0`.
+pub fn generate(config: &CommunityConfig, seed: u64) -> CommunityGraph {
+    assert!(config.num_nodes > 0, "num_nodes must be positive");
+    assert!(config.num_classes > 0, "num_classes must be positive");
+    assert!(config.feature_dim > 0, "feature_dim must be positive");
+    let mut rng = DeterministicRng::seed(seed ^ 0x51DE_C0DE_F00D_BA5E);
+    let n = config.num_nodes;
+    let k = config.num_classes as u64;
+
+    // Assign nodes to communities round-robin after a shuffle, so community
+    // sizes are balanced but node IDs are not block-structured (block
+    // structure would make mini-batch overlap unrealistically regular).
+    let mut ids: Vec<u64> = (0..n).collect();
+    rng.shuffle(&mut ids);
+    let mut labels = vec![0u32; n as usize];
+    for (i, &node) in ids.iter().enumerate() {
+        labels[node as usize] = (i as u64 % k) as u32;
+    }
+    // Nodes of each community, for intra-community edge endpoints.
+    let mut members: Vec<Vec<u64>> = vec![Vec::new(); config.num_classes];
+    for (node, &label) in labels.iter().enumerate() {
+        members[label as usize].push(node as u64);
+    }
+
+    let mut builder = GraphBuilder::new(n).symmetric(true);
+    let intra_edges = (config.intra_degree * n as f64 / 2.0) as u64;
+    let inter_edges = (config.inter_degree * n as f64 / 2.0) as u64;
+    for _ in 0..intra_edges {
+        let u = rng.below(n);
+        let community = &members[labels[u as usize] as usize];
+        let v = community[rng.below(community.len() as u64) as usize];
+        builder.push_edge(u, v);
+    }
+    for _ in 0..inter_edges {
+        builder.push_edge(rng.below(n), rng.below(n));
+    }
+    let graph = builder.build();
+
+    // Centroids: random unit-ish vectors, one per class.
+    let d = config.feature_dim;
+    let mut centroids = vec![0.0f32; config.num_classes * d];
+    for c in centroids.iter_mut() {
+        *c = rng.normal_f32();
+    }
+    let mut feats = vec![0.0f32; n as usize * d];
+    for node in 0..n as usize {
+        let class = labels[node] as usize;
+        for j in 0..d {
+            feats[node * d + j] =
+                centroids[class * d + j] + config.feature_noise * rng.normal_f32();
+        }
+    }
+    CommunityGraph {
+        graph,
+        features: FeatureStore::materialized(feats, d),
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::NodeId;
+
+    fn small() -> CommunityConfig {
+        CommunityConfig {
+            num_nodes: 600,
+            num_classes: 4,
+            intra_degree: 8.0,
+            inter_degree: 1.0,
+            feature_dim: 16,
+            feature_noise: 0.5,
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&small(), 1);
+        let b = generate(&small(), 1);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn labels_cover_all_classes_evenly() {
+        let g = generate(&small(), 2);
+        let mut counts = [0usize; 4];
+        for &l in &g.labels {
+            counts[l as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((145..=155).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn intra_community_edges_dominate() {
+        let g = generate(&small(), 3);
+        let mut intra = 0u64;
+        let mut inter = 0u64;
+        for u in g.graph.nodes() {
+            for &v in g.graph.neighbors(u) {
+                if g.labels[u.index()] == g.labels[v as usize] {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+            }
+        }
+        assert!(intra > 3 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn features_correlate_with_labels() {
+        let g = generate(&small(), 4);
+        let feats = g.features.as_slice().expect("materialized");
+        let d = g.features.dim();
+        // Mean feature of class 0 should be closer to another class-0 node
+        // than to a class-1 node's feature, on average.
+        let class_mean = |class: u32| -> Vec<f32> {
+            let mut acc = vec![0.0f32; d];
+            let mut count = 0;
+            for (node, &l) in g.labels.iter().enumerate() {
+                if l == class {
+                    for j in 0..d {
+                        acc[j] += feats[node * d + j];
+                    }
+                    count += 1;
+                }
+            }
+            acc.iter_mut().for_each(|x| *x /= count as f32);
+            acc
+        };
+        let m0 = class_mean(0);
+        let m1 = class_mean(1);
+        let dist: f32 = m0
+            .iter()
+            .zip(&m1)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        assert!(dist > 1.0, "centroid distance {dist}");
+    }
+
+    #[test]
+    fn graph_is_symmetric() {
+        let g = generate(&small(), 5);
+        for u in g.graph.nodes() {
+            for &v in g.graph.neighbors(u) {
+                assert!(g.graph.neighbors(NodeId(v)).contains(&u.0));
+            }
+        }
+    }
+}

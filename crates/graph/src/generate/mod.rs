@@ -1,0 +1,13 @@
+//! Synthetic graph generators.
+//!
+//! Real FastGL is evaluated on public benchmark graphs (Reddit, ogbn
+//! products/papers, MAG, IGB). Those datasets are not available in this
+//! environment, so we generate synthetic graphs whose *shape* — node count,
+//! average degree, degree skew — matches the published statistics. The
+//! behaviours FastGL exploits (inter-subgraph overlap, irregular access,
+//! neighbour explosion) all derive from that shape, not from the concrete
+//! node identities, so the substitution preserves what the experiments
+//! measure.
+
+pub mod community;
+pub mod rmat;

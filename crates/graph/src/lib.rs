@@ -1,0 +1,54 @@
+//! Graph substrate for the FastGL reproduction.
+//!
+//! This crate provides everything FastGL needs to know about graphs:
+//!
+//! * [`Csr`] — a compact sparse-row adjacency structure with cheap
+//!   neighbour iteration, the storage format used by every sampler and
+//!   kernel in the workspace.
+//! * [`GraphBuilder`] — edge-list ingestion (dedup, sort, symmetrise).
+//! * [`generate`] — synthetic generators: an R-MAT generator for power-law
+//!   graphs standing in for the paper's large benchmark graphs, and a
+//!   planted-partition generator with correlated features and labels used
+//!   for real convergence training (paper Fig. 16).
+//! * [`datasets`] — a registry describing the five graphs of the paper's
+//!   Table 6 (Reddit, Products, MAG, IGB-large, Papers100M) and producing
+//!   deterministic scaled-down synthetic stand-ins.
+//! * [`features`] — node feature stores, either *virtual* (sizes only, for
+//!   timing simulation at scale) or *materialized* (real `f32` rows for
+//!   training).
+//! * [`partition`] — train/validation/test splits over nodes.
+//! * [`rng`] — a small, fully deterministic xoshiro256** RNG so that every
+//!   experiment in the workspace is reproducible bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use fastgl_graph::{datasets::Dataset, generate::rmat::RmatConfig, Csr};
+//!
+//! // A scaled-down synthetic stand-in for ogbn-products.
+//! let bundle = Dataset::Products.generate_scaled(1.0 / 512.0, 7);
+//! let graph: &Csr = &bundle.graph;
+//! assert!(graph.num_nodes() > 0);
+//! let deg0 = graph.degree(fastgl_graph::NodeId(0));
+//! assert_eq!(graph.neighbors(fastgl_graph::NodeId(0)).len() as u64, deg0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod features;
+pub mod generate;
+pub mod io;
+pub mod partition;
+pub mod rng;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, NodeId};
+pub use datasets::{Dataset, DatasetBundle, DatasetSpec};
+pub use features::FeatureStore;
+pub use partition::NodeSplit;
+pub use rng::DeterministicRng;
+pub use stats::DegreeStats;

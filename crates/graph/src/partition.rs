@@ -1,0 +1,137 @@
+//! Train/validation/test node splits and per-GPU seed partitioning.
+
+use crate::csr::NodeId;
+use crate::rng::DeterministicRng;
+
+/// A disjoint train/validation/test split over node IDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSplit {
+    train: Vec<NodeId>,
+    validation: Vec<NodeId>,
+    test: Vec<NodeId>,
+}
+
+impl NodeSplit {
+    /// Splits `num_nodes` nodes with the given train and validation
+    /// fractions; the remainder is the test set. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are negative or sum above 1.
+    pub fn stratified(num_nodes: u64, train_frac: f64, val_frac: f64, seed: u64) -> Self {
+        assert!(
+            train_frac >= 0.0 && val_frac >= 0.0 && train_frac + val_frac <= 1.0,
+            "invalid split fractions train={train_frac} val={val_frac}"
+        );
+        let mut ids: Vec<u64> = (0..num_nodes).collect();
+        let mut rng = DeterministicRng::seed(seed ^ 0x5917_ACE0_44D1_0C3B);
+        rng.shuffle(&mut ids);
+        let n_train = ((num_nodes as f64) * train_frac).round() as usize;
+        let n_val = ((num_nodes as f64) * val_frac).round() as usize;
+        let train = ids[..n_train].iter().map(|&i| NodeId(i)).collect();
+        let validation = ids[n_train..(n_train + n_val).min(ids.len())]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
+        let test = ids[(n_train + n_val).min(ids.len())..]
+            .iter()
+            .map(|&i| NodeId(i))
+            .collect();
+        Self {
+            train,
+            validation,
+            test,
+        }
+    }
+
+    /// Training nodes.
+    pub fn train(&self) -> &[NodeId] {
+        &self.train
+    }
+
+    /// Validation nodes.
+    pub fn validation(&self) -> &[NodeId] {
+        &self.validation
+    }
+
+    /// Test nodes.
+    pub fn test(&self) -> &[NodeId] {
+        &self.test
+    }
+
+    /// Partitions the training nodes across `num_workers` simulated GPUs in
+    /// round-robin order (how data-parallel samplers shard seed nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers == 0`.
+    pub fn shard_train(&self, num_workers: usize) -> Vec<Vec<NodeId>> {
+        assert!(num_workers > 0, "need at least one worker");
+        let mut shards = vec![Vec::new(); num_workers];
+        for (i, &node) in self.train.iter().enumerate() {
+            shards[i % num_workers].push(node);
+        }
+        shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let s = NodeSplit::stratified(1000, 0.6, 0.2, 1);
+        assert_eq!(s.train().len(), 600);
+        assert_eq!(s.validation().len(), 200);
+        assert_eq!(s.test().len(), 200);
+        let all: HashSet<NodeId> = s
+            .train()
+            .iter()
+            .chain(s.validation())
+            .chain(s.test())
+            .copied()
+            .collect();
+        assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let a = NodeSplit::stratified(500, 0.5, 0.25, 9);
+        let b = NodeSplit::stratified(500, 0.5, 0.25, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_is_shuffled() {
+        let s = NodeSplit::stratified(1000, 0.5, 0.0, 2);
+        let first_500: Vec<u64> = (0..500).collect();
+        let train: Vec<u64> = s.train().iter().map(|n| n.0).collect();
+        assert_ne!(train, first_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid split fractions")]
+    fn rejects_overfull_split() {
+        let _ = NodeSplit::stratified(10, 0.8, 0.5, 0);
+    }
+
+    #[test]
+    fn sharding_balances_and_covers() {
+        let s = NodeSplit::stratified(100, 0.9, 0.0, 3);
+        let shards = s.shard_train(4);
+        assert_eq!(shards.len(), 4);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 90);
+    }
+
+    #[test]
+    fn zero_fraction_split() {
+        let s = NodeSplit::stratified(10, 0.0, 0.0, 4);
+        assert!(s.train().is_empty());
+        assert_eq!(s.test().len(), 10);
+    }
+}

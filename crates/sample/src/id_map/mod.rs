@@ -1,0 +1,180 @@
+//! The ID-map process: converting global node IDs to consecutive local IDs.
+//!
+//! Every sampled mini-batch must renumber its global node IDs to a dense
+//! `0..n` range before features can be gathered into a compact device
+//! buffer (paper §2.2, Fig. 4). The paper identifies this step as up to
+//! 70 % of the sample phase and contributes the **Fused-Map** algorithm
+//! (its Algorithm 2) to remove the thread synchronizations that the
+//! baseline (DGL-style) three-kernel approach requires.
+//!
+//! Two implementations live here:
+//!
+//! * [`BaselineIdMap`](baseline::BaselineIdMap) — build table, synchronize,
+//!   assign local IDs, synchronize, transform (three kernels).
+//! * [`FusedIdMap`](fused::FusedIdMap) — Algorithm 2: CAS-insert and local
+//!   ID assignment fused in one kernel, then a transform kernel. A truly
+//!   parallel variant with real atomics validates lock-freedom; a
+//!   sequential replay provides deterministic event counts for the
+//!   simulator.
+
+pub mod baseline;
+pub mod fused;
+
+/// Event counts of one ID-map execution, consumed by the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IdMapStats {
+    /// IDs processed (with duplicates).
+    pub total_ids: u64,
+    /// Distinct IDs discovered.
+    pub unique_ids: u64,
+    /// Linear-probe steps beyond the first slot.
+    pub probes: u64,
+    /// CAS operations that lost a race and retried (parallel execution).
+    pub cas_conflicts: u64,
+    /// Kernel launches.
+    pub kernel_launches: u64,
+    /// Device-wide synchronizations between kernels.
+    pub device_syncs: u64,
+    /// Per-unique-ID serialized synchronization events (the baseline's
+    /// local-ID assignment; zero for Fused-Map).
+    pub sync_serializations: u64,
+    /// Hash lookups performed by the final transform kernel.
+    pub lookups: u64,
+}
+
+impl IdMapStats {
+    /// Accumulates another execution's counters into this one.
+    pub fn merge(&mut self, other: &IdMapStats) {
+        self.total_ids += other.total_ids;
+        self.unique_ids += other.unique_ids;
+        self.probes += other.probes;
+        self.cas_conflicts += other.cas_conflicts;
+        self.kernel_launches += other.kernel_launches;
+        self.device_syncs += other.device_syncs;
+        self.sync_serializations += other.sync_serializations;
+        self.lookups += other.lookups;
+    }
+}
+
+/// The output of an ID map over an ID stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdMapOutput {
+    /// Distinct global IDs indexed by their assigned local ID.
+    pub unique: Vec<u64>,
+    /// The input stream rewritten as local IDs (same length and order).
+    pub locals: Vec<u64>,
+    /// Event counts for the cost model.
+    pub stats: IdMapStats,
+}
+
+impl IdMapOutput {
+    /// Checks that the mapping is a bijection consistent with the input:
+    /// every input ID maps to the local whose `unique` entry is that ID.
+    pub fn verify(&self, input: &[u64]) -> Result<(), String> {
+        if self.locals.len() != input.len() {
+            return Err("locals length differs from input".into());
+        }
+        let n = self.unique.len() as u64;
+        for (&id, &local) in input.iter().zip(&self.locals) {
+            if local >= n {
+                return Err(format!("local {local} out of range {n}"));
+            }
+            if self.unique[local as usize] != id {
+                return Err(format!(
+                    "local {local} maps to {} but input was {id}",
+                    self.unique[local as usize]
+                ));
+            }
+        }
+        let mut sorted = self.unique.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err("unique list contains duplicates".into());
+        }
+        Ok(())
+    }
+}
+
+/// A strategy converting a global-ID stream into local IDs.
+pub trait IdMap {
+    /// Renumbers `ids` (duplicates allowed) into dense local IDs.
+    fn map(&self, ids: &[u64]) -> IdMapOutput;
+
+    /// Short display name for tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Hash-table capacity for `n` IDs: the next power of two at or above
+/// `2 n`, keeping the load factor at or below 0.5 like DGL's GPU table.
+pub(crate) fn table_capacity(n: usize) -> usize {
+    table_capacity_with_factor(n, 2.0)
+}
+
+/// Hash-table capacity for `n` IDs with an explicit headroom `factor`
+/// (capacity = next power of two ≥ `factor · n`). Lower factors trade
+/// memory for longer linear-probe chains — the trade the load-factor
+/// ablation sweeps.
+pub(crate) fn table_capacity_with_factor(n: usize, factor: f64) -> usize {
+    (((n.max(1) as f64) * factor).ceil() as usize)
+        .max(2)
+        .next_power_of_two()
+}
+
+/// Fibonacci multiplicative hash into a table of `1 << bits` slots.
+#[inline]
+pub(crate) fn fib_hash(id: u64, bits: u32) -> usize {
+    (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - bits)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_power_of_two_and_roomy() {
+        for n in [1usize, 2, 3, 100, 1000, 4096] {
+            let c = table_capacity(n);
+            assert!(c.is_power_of_two());
+            assert!(c >= 2 * n);
+            assert!(c < 8 * n.max(1));
+        }
+    }
+
+    #[test]
+    fn fib_hash_in_range() {
+        for id in [0u64, 1, 42, u64::MAX, 0xdeadbeef] {
+            let h = fib_hash(id, 10);
+            assert!(h < 1024);
+        }
+    }
+
+    #[test]
+    fn verify_accepts_identity_mapping() {
+        let out = IdMapOutput {
+            unique: vec![7, 9],
+            locals: vec![0, 1, 0],
+            stats: IdMapStats::default(),
+        };
+        assert!(out.verify(&[7, 9, 7]).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_mapping() {
+        let out = IdMapOutput {
+            unique: vec![7, 9],
+            locals: vec![1, 1, 0],
+            stats: IdMapStats::default(),
+        };
+        assert!(out.verify(&[7, 9, 7]).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_duplicate_unique() {
+        let out = IdMapOutput {
+            unique: vec![7, 7],
+            locals: vec![0, 1],
+            stats: IdMapStats::default(),
+        };
+        assert!(out.verify(&[7, 7]).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Mini-batch planning: shuffling training seeds and chunking them.
+
+use fastgl_graph::{DeterministicRng, NodeId};
+
+/// The mini-batches of one training epoch.
+///
+/// Seeds are shuffled deterministically per `(seed, epoch)` and chunked
+/// into batches of `batch_size` (the final batch may be smaller).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinibatchPlan {
+    batches: Vec<Vec<NodeId>>,
+}
+
+impl MinibatchPlan {
+    /// Plans an epoch over `train_nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(train_nodes: &[NodeId], batch_size: usize, seed: u64, epoch: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut nodes = train_nodes.to_vec();
+        let mut rng = DeterministicRng::seed(seed ^ 0xE90C_42A7).derive(epoch);
+        rng.shuffle(&mut nodes);
+        let batches = nodes.chunks(batch_size).map(<[NodeId]>::to_vec).collect();
+        Self { batches }
+    }
+
+    /// Number of mini-batches.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether the epoch has no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// The `i`-th batch's seed nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn batch(&self, i: usize) -> &[NodeId] {
+        &self.batches[i]
+    }
+
+    /// Iterator over batches.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.batches.iter().map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn nodes(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn covers_all_seeds_once() {
+        let plan = MinibatchPlan::new(&nodes(100), 32, 1, 0);
+        assert_eq!(plan.len(), 4);
+        let all: HashSet<NodeId> = plan.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 100);
+        assert_eq!(plan.batch(3).len(), 4, "last batch holds the remainder");
+    }
+
+    #[test]
+    fn epochs_shuffle_differently() {
+        let e0 = MinibatchPlan::new(&nodes(64), 16, 7, 0);
+        let e1 = MinibatchPlan::new(&nodes(64), 16, 7, 1);
+        assert_ne!(e0, e1);
+    }
+
+    #[test]
+    fn same_epoch_reproduces() {
+        let a = MinibatchPlan::new(&nodes(64), 16, 7, 3);
+        let b = MinibatchPlan::new(&nodes(64), 16, 7, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_train_set() {
+        let plan = MinibatchPlan::new(&[], 10, 0, 0);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let _ = MinibatchPlan::new(&nodes(10), 0, 0, 0);
+    }
+}

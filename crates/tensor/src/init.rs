@@ -1,0 +1,81 @@
+//! Weight initialisation.
+
+use crate::matrix::Matrix;
+use rand::RngCore;
+
+/// Xavier/Glorot uniform initialisation: entries drawn uniformly from
+/// `[-a, a]` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Works with any [`RngCore`], including the workspace's deterministic RNG.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl RngCore) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols)
+        .map(|_| {
+            let u = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32; // [0,1)
+            (2.0 * u - 1.0) * a
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Zero-initialised bias row.
+pub fn zeros_bias(cols: usize) -> Matrix {
+    Matrix::zeros(1, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = Lcg(42);
+        let w = xavier_uniform(64, 32, &mut rng);
+        let a = (6.0f32 / 96.0).sqrt();
+        for &v in w.as_slice() {
+            assert!(v.abs() <= a, "|{v}| > {a}");
+        }
+        // Not all zero, roughly centred.
+        let mean: f32 = w.as_slice().iter().sum::<f32>() / 2048.0;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_rng() {
+        let w1 = xavier_uniform(4, 4, &mut Lcg(7));
+        let w2 = xavier_uniform(4, 4, &mut Lcg(7));
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn bias_is_zero_row() {
+        let b = zeros_bias(5);
+        assert_eq!(b.rows(), 1);
+        assert_eq!(b.cols(), 5);
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,27 @@
+//! Dense `f32` linear algebra backing FastGL's GNN models.
+//!
+//! The convergence experiments of the paper (Fig. 16) train real models to
+//! a real loss, so the workspace needs actual numerics, not just cost
+//! modelling. This crate supplies the dense half of a GNN layer — the
+//! *update* phase of Eq. 2 — plus losses and optimisers:
+//!
+//! * [`Matrix`] — row-major `f32` matrices with blocked matmul and the
+//!   transposed variants backward passes need.
+//! * [`ops`] — activations and row-wise softmax utilities.
+//! * [`loss`] — softmax cross-entropy with gradient, and accuracy.
+//! * [`optim`] — SGD (with momentum) and Adam.
+//! * [`init`] — Xavier/Glorot initialisation over a deterministic RNG.
+//!
+//! The sparse half (aggregation over subgraph edges) lives in `fastgl-gnn`,
+//! where it follows the graph structure.
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod loss;
+pub mod matrix;
+pub mod ops;
+pub mod optim;
+
+pub use matrix::Matrix;
+pub use optim::{Adam, ClipNorm, Optimizer, Sgd, StepDecay};

@@ -1,0 +1,157 @@
+//! Softmax cross-entropy loss and classification accuracy.
+
+use crate::matrix::Matrix;
+use crate::ops::{log_softmax_rows, softmax_rows};
+
+/// The value and gradient of a mean softmax cross-entropy loss.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Gradient with respect to the logits, already divided by batch size.
+    pub grad: Matrix,
+}
+
+/// Mean softmax cross-entropy of `logits` (`batch × classes`) against
+/// integer `labels`.
+///
+/// # Example
+///
+/// ```
+/// use fastgl_tensor::loss::softmax_cross_entropy;
+/// use fastgl_tensor::Matrix;
+///
+/// let confident = Matrix::from_vec(1, 3, vec![9.0, 0.0, 0.0]);
+/// let out = softmax_cross_entropy(&confident, &[0]);
+/// assert!(out.loss < 0.01);
+/// // The gradient pushes towards the label and sums to zero.
+/// assert!(out.grad.get(0, 0) < 0.0);
+/// assert!(out.grad.row(0).iter().sum::<f32>().abs() < 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()`, the batch is empty, or any
+/// label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> LossOutput {
+    assert_eq!(
+        labels.len(),
+        logits.rows(),
+        "labels ({}) must match batch size ({})",
+        labels.len(),
+        logits.rows()
+    );
+    assert!(!labels.is_empty(), "empty batch");
+    let n = logits.rows();
+    let classes = logits.cols();
+    let log_probs = log_softmax_rows(logits);
+    let mut loss = 0.0;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(
+            (label as usize) < classes,
+            "label {label} out of range for {classes} classes"
+        );
+        loss -= log_probs.get(r, label as usize);
+    }
+    loss /= n as f32;
+
+    // d loss / d logits = (softmax - onehot) / n
+    let mut grad = softmax_rows(logits);
+    for (r, &label) in labels.iter().enumerate() {
+        let v = grad.get(r, label as usize);
+        grad.set(r, label as usize, v - 1.0);
+    }
+    grad.scale(1.0 / n as f32);
+    LossOutput { loss, grad }
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()`.
+pub fn accuracy(logits: &Matrix, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), logits.rows(), "labels must match batch size");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        let mut best = 0usize;
+        for (c, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = c;
+            }
+        }
+        if best == label as usize {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Matrix::from_vec(2, 3, vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0]);
+        let out = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(out.loss < 0.01, "loss {}", out.loss);
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_log_classes() {
+        let logits = Matrix::zeros(4, 5);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((out.loss - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let base = vec![0.3, -0.7, 1.2, 0.1, 0.9, -0.2];
+        let labels = [2u32, 0u32];
+        let logits = Matrix::from_vec(2, 3, base.clone());
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let lp = softmax_cross_entropy(&Matrix::from_vec(2, 3, plus), &labels).loss;
+            let lm = softmax_cross_entropy(&Matrix::from_vec(2, 3, minus), &labels).loss;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = out.grad.as_slice()[i];
+            assert!(
+                (fd - an).abs() < 1e-3,
+                "grad[{i}]: finite-diff {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 1.0, 2.0]);
+        let out = softmax_cross_entropy(&logits, &[3, 0]);
+        for r in 0..2 {
+            let sum: f32 = out.grad.row(r).iter().sum();
+            assert!(sum.abs() < 1e-6, "row {r} grad sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(accuracy(&Matrix::zeros(0, 2), &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        let _ = softmax_cross_entropy(&Matrix::zeros(1, 2), &[5]);
+    }
+}

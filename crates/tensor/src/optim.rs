@@ -1,0 +1,359 @@
+//! First-order optimisers: SGD with momentum, and Adam.
+//!
+//! Optimisers address parameters by a caller-chosen `slot` index, so a
+//! model registers each weight matrix once and then calls
+//! [`Optimizer::step`] with the same slot every iteration; per-slot state
+//! (momentum buffers, Adam moments) is allocated lazily.
+
+use std::collections::HashMap;
+
+/// A first-order optimiser over flat parameter slices.
+pub trait Optimizer {
+    /// Applies one update of `grad` to `param` under slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `param.len() != grad.len()` or if a slot is
+    /// reused with a different length.
+    fn step(&mut self, slot: usize, param: &mut [f32], grad: &[f32]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (e.g. for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<usize, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum coefficient `momentum`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "param/grad length mismatch");
+        if self.momentum == 0.0 {
+            for (p, &g) in param.iter_mut().zip(grad) {
+                *p -= self.lr * g;
+            }
+            return;
+        }
+        let v = self
+            .velocity
+            .entry(slot)
+            .or_insert_with(|| vec![0.0; param.len()]);
+        assert_eq!(v.len(), param.len(), "slot {slot} reused with new length");
+        for ((p, &g), vi) in param.iter_mut().zip(grad).zip(v.iter_mut()) {
+            *vi = self.momentum * *vi + g;
+            *p -= self.lr * *vi;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// The Adam optimiser (Kingma & Ba), the optimiser the paper's training
+/// runs use via PyTorch.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: HashMap<usize, (Vec<f32>, Vec<f32>)>,
+}
+
+impl Adam {
+    /// Adam with the standard betas (0.9, 0.999) and `eps = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: HashMap::new(),
+        }
+    }
+
+    /// Advances the shared timestep; call once per training iteration
+    /// *before* the slot updates of that iteration.
+    pub fn next_iteration(&mut self) {
+        self.t += 1;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
+        assert_eq!(param.len(), grad.len(), "param/grad length mismatch");
+        if self.t == 0 {
+            self.t = 1;
+        }
+        let (m, v) = self
+            .moments
+            .entry(slot)
+            .or_insert_with(|| (vec![0.0; param.len()], vec![0.0; param.len()]));
+        assert_eq!(m.len(), param.len(), "slot {slot} reused with new length");
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..param.len() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let m_hat = m[i] / b1t;
+            let v_hat = v[i] / b2t;
+            param[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Decorates an optimiser with global gradient-norm clipping: when a
+/// slot's gradient L2 norm exceeds `max_norm`, the gradient is scaled down
+/// to that norm before the inner update (the standard stabiliser for GNN
+/// training on skewed graphs, where hub nodes can produce huge gradients).
+#[derive(Debug, Clone)]
+pub struct ClipNorm<O> {
+    inner: O,
+    max_norm: f32,
+}
+
+impl<O: Optimizer> ClipNorm<O> {
+    /// Wraps `inner`, clipping each slot's gradient to `max_norm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_norm` is not positive.
+    pub fn new(inner: O, max_norm: f32) -> Self {
+        assert!(max_norm > 0.0, "max_norm must be positive");
+        Self { inner, max_norm }
+    }
+
+    /// The wrapped optimiser.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Optimizer> Optimizer for ClipNorm<O> {
+    fn step(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
+        let norm = grad.iter().map(|g| g * g).sum::<f32>().sqrt();
+        if norm > self.max_norm {
+            let scale = self.max_norm / norm;
+            let clipped: Vec<f32> = grad.iter().map(|g| g * scale).collect();
+            self.inner.step(slot, param, &clipped);
+        } else {
+            self.inner.step(slot, param, grad);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.inner.learning_rate()
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.inner.set_learning_rate(lr);
+    }
+}
+
+/// A step-decay learning-rate schedule: multiplies the rate by `gamma`
+/// every `period` epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    initial_lr: f32,
+    gamma: f32,
+    period: u64,
+}
+
+impl StepDecay {
+    /// A schedule starting at `initial_lr`, scaled by `gamma` every
+    /// `period` epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `gamma` is not in `(0, 1]`.
+    pub fn new(initial_lr: f32, gamma: f32, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        Self {
+            initial_lr,
+            gamma,
+            period,
+        }
+    }
+
+    /// The learning rate at `epoch`.
+    pub fn rate_at(&self, epoch: u64) -> f32 {
+        self.initial_lr * self.gamma.powi((epoch / self.period) as i32)
+    }
+
+    /// Applies the schedule to an optimiser for `epoch`.
+    pub fn apply(&self, opt: &mut dyn Optimizer, epoch: u64) {
+        opt.set_learning_rate(self.rate_at(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimises f(x) = (x - 3)^2 whose gradient is 2(x - 3).
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize, adam: Option<&mut bool>) -> f32 {
+        let _ = adam;
+        let mut x = [0.0f32];
+        for _ in 0..steps {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(0, &mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = run_quadratic(&mut opt, 100, None);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let x = run_quadratic(&mut opt, 200, None);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let mut x = [0.0f32];
+        for _ in 0..500 {
+            opt.next_iteration();
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(0, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn slots_keep_independent_state() {
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let mut a = [0.0f32];
+        let mut b = [0.0f32];
+        opt.step(0, &mut a, &[1.0]);
+        opt.step(0, &mut a, &[1.0]);
+        opt.step(1, &mut b, &[1.0]);
+        // Slot 0 has accumulated momentum, slot 1 has not.
+        let a_step2 = a[0];
+        assert!((a_step2 - (-0.1 - 0.19)).abs() < 1e-6, "{a_step2}");
+        assert!((b[0] - (-0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Adam::new(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+
+    #[test]
+    fn clipping_bounds_the_applied_gradient() {
+        let mut clipped = ClipNorm::new(Sgd::new(1.0), 1.0);
+        let mut plain = Sgd::new(1.0);
+        let mut p1 = [0.0f32];
+        let mut p2 = [0.0f32];
+        let huge = [100.0f32];
+        clipped.step(0, &mut p1, &huge);
+        plain.step(0, &mut p2, &huge);
+        assert_eq!(p1[0], -1.0, "clipped to unit norm");
+        assert_eq!(p2[0], -100.0);
+        // Small gradients pass through unchanged.
+        let mut p3 = [0.0f32];
+        clipped.step(1, &mut p3, &[0.5]);
+        assert_eq!(p3[0], -0.5);
+        assert_eq!(clipped.learning_rate(), 1.0);
+    }
+
+    #[test]
+    fn clipped_training_still_converges() {
+        let mut opt = ClipNorm::new(Adam::new(0.1), 0.5);
+        let mut x = [10.0f32];
+        for _ in 0..300 {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(0, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = StepDecay::new(0.1, 0.5, 2);
+        assert_eq!(s.rate_at(0), 0.1);
+        assert_eq!(s.rate_at(1), 0.1);
+        assert_eq!(s.rate_at(2), 0.05);
+        assert_eq!(s.rate_at(5), 0.025);
+        let mut opt = Sgd::new(0.1);
+        s.apply(&mut opt, 4);
+        assert_eq!(opt.learning_rate(), 0.025);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in")]
+    fn step_decay_rejects_bad_gamma() {
+        let _ = StepDecay::new(0.1, 1.5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_norm must be positive")]
+    fn clip_rejects_non_positive_norm() {
+        let _ = ClipNorm::new(Sgd::new(0.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = [0.0f32; 2];
+        opt.step(0, &mut p, &[1.0]);
+    }
+
+    #[test]
+    fn adam_without_explicit_iteration_still_works() {
+        let mut opt = Adam::new(0.1);
+        let mut x = [1.0f32];
+        opt.step(0, &mut x, &[1.0]);
+        assert!(x[0] < 1.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-crate convergence test: real models train through real sampled
+//! subgraphs to a real loss, with and without FastGL's reordering
+//! (the paper's Fig. 16 correctness claim).
+
+use fastgl::core::trainer::{train, TrainerConfig};
+use fastgl::gnn::ModelKind;
+use fastgl::graph::generate::community::{self, CommunityConfig};
+use fastgl::graph::NodeId;
+
+fn data() -> community::CommunityGraph {
+    community::generate(
+        &CommunityConfig {
+            num_nodes: 1_000,
+            num_classes: 5,
+            intra_degree: 12.0,
+            inter_degree: 1.5,
+            feature_dim: 24,
+            feature_noise: 0.8,
+        },
+        99,
+    )
+}
+
+fn config(model: ModelKind, reorder: bool) -> TrainerConfig {
+    TrainerConfig {
+        model,
+        hidden_dim: 24,
+        fanouts: vec![4, 4],
+        batch_size: 128,
+        learning_rate: 0.01,
+        epochs: 4,
+        reorder,
+        window: 4,
+        seed: 5,
+    }
+}
+
+#[test]
+fn gcn_and_gin_learn_community_labels() {
+    let d = data();
+    let nodes: Vec<NodeId> = (0..700).map(NodeId).collect();
+    for model in [ModelKind::Gcn, ModelKind::Gin] {
+        let run = train(&d.graph, &d.features, &d.labels, &nodes, &config(model, false));
+        let first = run.epoch_losses[0];
+        let last = *run.epoch_losses.last().unwrap();
+        assert!(last < first * 0.75, "{model}: {first} -> {last}");
+        assert!(
+            run.final_accuracy > 0.6,
+            "{model}: accuracy {}",
+            run.final_accuracy
+        );
+    }
+}
+
+#[test]
+fn reordering_matches_default_convergence() {
+    let d = data();
+    let nodes: Vec<NodeId> = (0..700).map(NodeId).collect();
+    for model in [ModelKind::Gcn, ModelKind::Gin] {
+        let base = train(&d.graph, &d.features, &d.labels, &nodes, &config(model, false));
+        let reordered = train(&d.graph, &d.features, &d.labels, &nodes, &config(model, true));
+        let a = base.tail_loss(8);
+        let b = reordered.tail_loss(8);
+        assert!(
+            (a - b).abs() < 0.2 * a.max(b).max(0.1),
+            "{model}: converged losses diverge ({a} vs {b})"
+        );
+        // Both orders see the same number of iterations.
+        assert_eq!(base.iteration_losses.len(), reordered.iteration_losses.len());
+    }
+}
+
+#[test]
+fn gat_trains_through_sampled_subgraphs() {
+    let d = data();
+    let nodes: Vec<NodeId> = (0..500).map(NodeId).collect();
+    let run = train(&d.graph, &d.features, &d.labels, &nodes, &config(ModelKind::Gat, false));
+    let first = run.epoch_losses[0];
+    let last = *run.epoch_losses.last().unwrap();
+    assert!(last < first, "GAT loss must decrease: {first} -> {last}");
+}

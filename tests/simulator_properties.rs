@@ -1,0 +1,114 @@
+//! Property-based tests of the GPU simulator's invariants.
+
+use fastgl::gpusim::kernel::gemm_time;
+use fastgl::gpusim::transfer::ring_allreduce_time;
+use fastgl::gpusim::{
+    Cache, CacheConfig, CostParams, DeviceSpec, HostSpec, KernelProfile, PcieEngine, SimTime,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Cache hit count never exceeds access count; hit rate stays in [0,1].
+    #[test]
+    fn cache_hits_bounded(addrs in prop::collection::vec(0u64..1_000_000, 1..2_000)) {
+        let mut cache = Cache::new(CacheConfig::with_capacity(16 * 1024));
+        for &a in &addrs {
+            cache.access(a);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert!(s.hits <= s.accesses());
+        prop_assert!((0.0..=1.0).contains(&s.hit_rate()));
+    }
+
+    /// A strictly larger cache never hits less on the same trace.
+    #[test]
+    fn bigger_cache_never_worse(addrs in prop::collection::vec(0u64..100_000, 1..2_000)) {
+        // Fully-associative equivalents (single set) make inclusion hold.
+        let small_lines = 16;
+        let big_lines = 64;
+        let mut small = Cache::new(CacheConfig {
+            capacity_bytes: 128 * small_lines,
+            line_bytes: 128,
+            ways: small_lines as usize,
+        });
+        let mut big = Cache::new(CacheConfig {
+            capacity_bytes: 128 * big_lines,
+            line_bytes: 128,
+            ways: big_lines as usize,
+        });
+        for &a in &addrs {
+            small.access(a);
+            big.access(a);
+        }
+        prop_assert!(big.stats().hits >= small.stats().hits);
+    }
+
+    /// PCIe copy time is monotone in bytes and at least the fixed latency.
+    #[test]
+    fn pcie_time_monotone(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let engine = PcieEngine::new(HostSpec::pcie4());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let t_lo = engine.copy_time(lo);
+        let t_hi = engine.copy_time(hi);
+        prop_assert!(t_lo <= t_hi);
+        prop_assert!(t_lo >= SimTime::from_nanos(HostSpec::pcie4().pcie_latency_ns));
+    }
+
+    /// Kernel cost is monotone in every byte counter.
+    #[test]
+    fn kernel_cost_monotone(
+        flops in 0u64..1_000_000_000,
+        global in 0u64..1_000_000_000,
+        extra in 1u64..1_000_000_000,
+    ) {
+        let dev = DeviceSpec::rtx3090();
+        let params = CostParams::default();
+        let base = KernelProfile { flops, bytes_global: global, ..Default::default() };
+        let more = KernelProfile { flops, bytes_global: global + extra, ..Default::default() };
+        prop_assert!(more.cost(&dev, &params).time() >= base.cost(&dev, &params).time());
+    }
+
+    /// Serving bytes from shared memory is never slower than from global.
+    #[test]
+    fn shared_never_slower_than_global(bytes in 1u64..2_000_000_000) {
+        let dev = DeviceSpec::rtx3090();
+        let params = CostParams::default();
+        let from_shared = KernelProfile { bytes_shared: bytes, ..Default::default() };
+        let from_global = KernelProfile { bytes_global: bytes, ..Default::default() };
+        prop_assert!(
+            from_shared.cost(&dev, &params).time() <= from_global.cost(&dev, &params).time()
+        );
+    }
+
+    /// GEMM time grows with each dimension.
+    #[test]
+    fn gemm_time_monotone(m in 1u64..10_000, k in 1u64..512, n in 1u64..512) {
+        let dev = DeviceSpec::rtx3090();
+        let params = CostParams::default();
+        let t = gemm_time(&dev, &params, m, k, n);
+        let t2 = gemm_time(&dev, &params, m * 2, k, n);
+        prop_assert!(t2 >= t);
+    }
+
+    /// Ring all-reduce time is monotone in payload and zero for one worker.
+    #[test]
+    fn allreduce_properties(bytes in 0u64..1_000_000_000, n in 2usize..16) {
+        let host = HostSpec::pcie4();
+        prop_assert_eq!(ring_allreduce_time(&host, bytes, 1), SimTime::ZERO);
+        let t = ring_allreduce_time(&host, bytes, n);
+        let t2 = ring_allreduce_time(&host, bytes * 2, n);
+        prop_assert!(t2 >= t);
+    }
+
+    /// SimTime arithmetic respects ordering and identity.
+    #[test]
+    fn simtime_algebra(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let ta = SimTime::from_nanos(a);
+        let tb = SimTime::from_nanos(b);
+        prop_assert_eq!((ta + tb).as_nanos(), a + b);
+        prop_assert_eq!(ta + SimTime::ZERO, ta);
+        prop_assert_eq!(ta.max(tb).as_nanos(), a.max(b));
+        prop_assert_eq!(ta.saturating_sub(tb).as_nanos(), a.saturating_sub(b));
+    }
+}
