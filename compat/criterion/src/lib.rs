@@ -1,0 +1,300 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the subset of criterion's API the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — over a simple wall-clock measurement loop.
+//!
+//! Statistics are deliberately simple: each benchmark is warmed up once,
+//! then run until it accumulates enough samples (or a time budget), and the
+//! mean, minimum, and throughput are printed. That is enough to compare a
+//! serial and a parallel implementation of the same kernel, which is what
+//! the workspace's perf trajectory records; it makes no attempt at
+//! criterion's outlier analysis or HTML reports.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-iteration time budget controls for one benchmark run.
+#[derive(Debug, Clone, Copy)]
+struct MeasureConfig {
+    /// Target number of timed samples.
+    samples: usize,
+    /// Hard wall-clock budget per benchmark.
+    budget: Duration,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        Self {
+            samples: 20,
+            budget: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// Work performed per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendering (`BenchmarkId::new("gemm", "1000x200x64")`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a displayed parameter.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id rendering only the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    min: Option<Duration>,
+    iters: u64,
+    config: MeasureConfig,
+}
+
+impl Bencher {
+    fn with_config(config: MeasureConfig) -> Self {
+        Self {
+            total: Duration::ZERO,
+            min: None,
+            iters: 0,
+            config,
+        }
+    }
+
+    /// Times repeated executions of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up (untimed): page in code and data.
+        black_box(routine());
+        let deadline = Instant::now() + self.config.budget;
+        for _ in 0..self.config.samples.max(1) {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            self.total += dt;
+            self.min = Some(self.min.map_or(dt, |m| m.min(dt)));
+            self.iters += 1;
+            if Instant::now() >= deadline && self.iters >= 3 {
+                break;
+            }
+        }
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        (self.iters > 0).then(|| self.total / self.iters as u32)
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(group: &str, bench: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let Some(mean) = b.mean() else {
+        println!("{group}/{bench}: no samples");
+        return;
+    };
+    let min = b.min.unwrap_or(mean);
+    let rate = throughput.map(|t| {
+        let secs = mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("  {:>10.3} Melem/s", n as f64 / secs / 1e6),
+            Throughput::Bytes(n) => format!("  {:>10.3} MiB/s", n as f64 / secs / (1 << 20) as f64),
+        }
+    });
+    println!(
+        "{group}/{bench}: mean {} (min {}, {} iters){}",
+        format_duration(mean),
+        format_duration(min),
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named collection of related benchmarks sharing throughput/sample
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    config: MeasureConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.config.samples = samples;
+        self
+    }
+
+    /// Sets the per-iteration work used for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark that takes no external input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::with_config(self.config);
+        f(&mut b);
+        report(&self.name, &id.name, &b, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::with_config(self.config);
+        f(&mut b, input);
+        report(&self.name, &id.name, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            config: MeasureConfig::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::with_config(MeasureConfig::default());
+        let name = name.to_string();
+        f(&mut b);
+        report("bench", &name, &b, None);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(black_box(b)))
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::with_config(MeasureConfig {
+            samples: 5,
+            budget: Duration::from_millis(50),
+        });
+        b.iter(|| sum_to(1000));
+        assert!(b.iters >= 1);
+        assert!(b.mean().is_some());
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function("sum", |b| b.iter(|| sum_to(1000)));
+        g.bench_with_input(BenchmarkId::new("sum_n", 500), &500u64, |b, &n| {
+            b.iter(|| sum_to(n))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the *exact* subset of `rand` 0.8's API that the
+//! workspace uses: the [`RngCore`] trait, the [`Rng`] extension trait with
+//! `gen::<T>()`, and the [`Error`] type. All of the workspace's actual
+//! randomness comes from `fastgl_graph::DeterministicRng`, which implements
+//! [`RngCore`]; nothing here generates entropy of its own.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Error type reported by fallible RNG operations.
+///
+/// The deterministic generators used in this workspace never fail, so this
+/// type is never constructed outside of trait plumbing.
+#[derive(Debug)]
+pub struct Error {
+    _private: (),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RNG error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure as an [`Error`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG's raw output, standing in
+/// for `rand`'s `Standard` distribution.
+pub trait SampleStandard {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $via:ident),*) => {
+        $(impl SampleStandard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        })*
+    };
+}
+
+impl_sample_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64);
+
+impl SampleStandard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl SampleStandard for f32 {
+    /// Uniform in `[0, 1)` using 24 mantissa bits, like `rand`'s `Standard`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleStandard for f64 {
+    /// Uniform in `[0, 1)` using 53 mantissa bits, like `rand`'s `Standard`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Convenience extension over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniformly random value of type `T`.
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn gen_is_deterministic_per_rng_state() {
+        let a: u64 = Counter(7).gen();
+        let b: u64 = Counter(7).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = Counter(3);
+        for _ in 0..100 {
+            let x: f32 = rng.gen();
+            let y: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+}

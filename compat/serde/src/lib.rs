@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and spec
+//! types but never actually serializes them (no `serde_json` or similar
+//! backend is in the dependency tree). Since the build environment cannot
+//! reach crates.io, this crate supplies marker traits with the same names
+//! and a `derive` feature producing trivial impls, keeping every
+//! `#[derive(Serialize, Deserialize)]` site compiling unchanged. If a real
+//! serialization backend is ever needed, swap the workspace dependency back
+//! to the real `serde` — call sites need no changes.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {}
+impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Deserialize<'de> for Result<T, E> {}

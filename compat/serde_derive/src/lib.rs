@@ -1,0 +1,73 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Parses just enough of the item (attributes, visibility, `struct`/`enum`
+//! keyword, name) to emit a trivial marker impl. Generic types are rejected
+//! with a clear compile error — no type in this workspace derives serde
+//! traits generically, and a trivial impl would need bound propagation.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the name of the struct/enum/union a derive is attached to.
+///
+/// Returns `Err` with a diagnostic if the item shape is unsupported.
+fn item_name(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes (`#` followed by a bracketed group).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Skip a following `(crate)` / `(super)` group.
+                        if let Some(TokenTree::Group(_)) = iter.peek() {
+                            let _ = iter.next();
+                        }
+                    }
+                    "struct" | "enum" | "union" => {
+                        let name = match iter.next() {
+                            Some(TokenTree::Ident(name)) => name.to_string(),
+                            other => return Err(format!("expected item name, found {other:?}")),
+                        };
+                        if let Some(TokenTree::Punct(p)) = iter.peek() {
+                            if p.as_char() == '<' {
+                                return Err(format!(
+                                    "the offline serde stand-in cannot derive for \
+                                     generic type `{name}`"
+                                ));
+                            }
+                        }
+                        return Ok(name);
+                    }
+                    // Qualifiers that may precede the item keyword.
+                    "const" | "unsafe" | "extern" | "crate" => {}
+                    other => return Err(format!("unsupported item starting with `{other}`")),
+                }
+            }
+            _ => {}
+        }
+    }
+    Err("no struct/enum found in derive input".to_string())
+}
+
+fn emit(input: TokenStream, template: &str) -> TokenStream {
+    match item_name(input) {
+        Ok(name) => template.replace("__NAME__", &name).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl ::serde::Serialize for __NAME__ {}")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl<'de> ::serde::Deserialize<'de> for __NAME__ {}")
+}

@@ -9,9 +9,7 @@
 
 use fastgl_core::hotness::CacheRankPolicy;
 use fastgl_core::pipeline::{CachePolicy, Pipeline, PipelinePolicy};
-use fastgl_core::{
-    ComputeMode, EpochStats, FastGlConfig, IdMapKind, SampleDevice, TrainingSystem,
-};
+use fastgl_core::{ComputeMode, EpochStats, FastGlConfig, IdMapKind, SampleDevice, TrainingSystem};
 use fastgl_graph::DatasetBundle;
 
 /// The DGL-like baseline.

@@ -9,9 +9,7 @@
 
 use fastgl_core::hotness::CacheRankPolicy;
 use fastgl_core::pipeline::{CachePolicy, Pipeline, PipelinePolicy};
-use fastgl_core::{
-    ComputeMode, EpochStats, FastGlConfig, IdMapKind, SampleDevice, TrainingSystem,
-};
+use fastgl_core::{ComputeMode, EpochStats, FastGlConfig, IdMapKind, SampleDevice, TrainingSystem};
 use fastgl_graph::DatasetBundle;
 
 /// The GNNLab-like baseline.
@@ -130,7 +128,7 @@ mod tests {
         // without overlap (paper Fig. 14d: hiding works until the sampled
         // subgraph outgrows the training time).
         use fastgl_core::hotness::CacheRankPolicy;
-use fastgl_core::pipeline::{CachePolicy, Pipeline, PipelinePolicy};
+        use fastgl_core::pipeline::{CachePolicy, Pipeline, PipelinePolicy};
         let data = Dataset::Reddit.generate_scaled(1.0 / 256.0, 8);
         let heavy = cfg().with_batch_size(256);
         let mut lab = GnnLabSystem::new(heavy.clone());

@@ -138,7 +138,10 @@ mod tests {
         let dgl = time(SystemKind::Dgl);
         let fastgl = time(SystemKind::FastGl);
         assert!(pyg > dgl, "PyG {pyg} must be slower than DGL {dgl}");
-        assert!(dgl > fastgl, "DGL {dgl} must be slower than FastGL {fastgl}");
+        assert!(
+            dgl > fastgl,
+            "DGL {dgl} must be slower than FastGL {fastgl}"
+        );
         // Paper: FastGL averages 2.2x over DGL and 11.8x over PyG.
         assert!(pyg / fastgl > 3.0, "PyG/FastGL = {}", pyg / fastgl);
     }

@@ -14,7 +14,9 @@ fn id_stream(total: usize) -> Vec<u64> {
     let mut x = 0x1357_9BDF_2468_ACE0u64;
     (0..total)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Square the unit draw to bias towards small IDs (hubs).
             let u = (x >> 40) as f64 / (1u64 << 24) as f64;
             ((u * u * unique as f64) as u64).min(unique - 1)
@@ -38,7 +40,15 @@ fn bench_id_map(c: &mut Criterion) {
             BenchmarkId::new("fused_parallel_4t", total),
             &ids,
             |b, ids| {
-                b.iter(|| black_box(FusedIdMap { threads: 4, ..FusedIdMap::new() }.map_parallel(ids)));
+                b.iter(|| {
+                    black_box(
+                        FusedIdMap {
+                            threads: 4,
+                            ..FusedIdMap::new()
+                        }
+                        .map_parallel(ids),
+                    )
+                });
             },
         );
     }

@@ -1,0 +1,158 @@
+//! Serial vs parallel scaling of the execution-backend hot paths.
+//!
+//! Runs the dominant training kernels (dense matmul, sparse mean
+//! aggregation, flat feature gather) at three sizes, once with the backend
+//! pinned to one thread and once with all available cores, so a multi-core
+//! runner shows the speedup directly in the report. The outputs are
+//! bit-identical between the two modes by construction (see
+//! `fastgl_tensor::parallel`), which the bench asserts once per size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastgl_gnn::aggregate::mean_aggregate;
+use fastgl_sample::Block;
+use fastgl_tensor::{parallel, Matrix};
+
+fn filled(rows: usize, cols: usize, mut x: u64) -> Matrix {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect(),
+    )
+}
+
+/// A block where each of `num_dst` destinations aggregates `deg` sources
+/// spread over `num_src` rows.
+fn fanout_block(num_dst: usize, num_src: usize, deg: usize) -> Block {
+    let mut src_offsets = Vec::with_capacity(num_dst + 1);
+    let mut src_locals = Vec::with_capacity(num_dst * deg);
+    src_offsets.push(0u64);
+    for i in 0..num_dst {
+        for e in 0..deg {
+            src_locals.push(((i * 31 + e * 977) % num_src) as u64);
+        }
+        src_offsets.push(src_locals.len() as u64);
+    }
+    Block {
+        dst_locals: (0..num_dst as u64).collect(),
+        src_offsets,
+        src_locals,
+    }
+}
+
+/// The two backend modes under comparison.
+fn modes() -> [(&'static str, usize); 2] {
+    let all = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    [("serial", 1), ("parallel", all)]
+}
+
+fn bench_matmul_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling/matmul");
+    group.sample_size(10);
+    for &(m, k, n) in &[
+        (512usize, 64usize, 64usize),
+        (2_048, 128, 64),
+        (8_192, 128, 128),
+    ] {
+        let a = filled(m, k, 1);
+        let b = filled(k, n, 2);
+        let reference = {
+            parallel::set_num_threads(1);
+            a.matmul(&b)
+        };
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        for (label, threads) in modes() {
+            parallel::set_num_threads(threads);
+            assert_eq!(a.matmul(&b), reference, "backend must be bit-identical");
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{m}x{k}x{n}")),
+                &(&a, &b),
+                |bch, (a, b)| {
+                    bch.iter(|| black_box(a.matmul(b)));
+                },
+            );
+        }
+        parallel::set_num_threads(0);
+    }
+    group.finish();
+}
+
+fn bench_aggregate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling/mean_aggregate");
+    group.sample_size(10);
+    for &(num_dst, deg, dim) in &[
+        (1_000usize, 8usize, 64usize),
+        (8_000, 16, 64),
+        (8_000, 16, 256),
+    ] {
+        let num_src = num_dst * 4;
+        let block = fanout_block(num_dst, num_src, deg);
+        let z = filled(num_src, dim, 3);
+        let reference = {
+            parallel::set_num_threads(1);
+            mean_aggregate(&block, &z)
+        };
+        group.throughput(Throughput::Elements((num_dst * deg * dim) as u64));
+        for (label, threads) in modes() {
+            parallel::set_num_threads(threads);
+            assert_eq!(mean_aggregate(&block, &z), reference);
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{num_dst}dst_deg{deg}_d{dim}")),
+                &(&block, &z),
+                |bch, (block, z)| {
+                    bch.iter(|| black_box(mean_aggregate(block, z)));
+                },
+            );
+        }
+        parallel::set_num_threads(0);
+    }
+    group.finish();
+}
+
+fn bench_gather_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling/gather");
+    group.sample_size(10);
+    for &(num_rows, dim, picks) in &[
+        (50_000usize, 128usize, 10_000usize),
+        (200_000, 128, 50_000),
+        (200_000, 602, 50_000),
+    ] {
+        let store = filled(num_rows, dim, 4);
+        let indices: Vec<usize> = (0..picks).map(|i| (i * 48_271) % num_rows).collect();
+        group.throughput(Throughput::Bytes((picks * dim * 4) as u64));
+        for (label, threads) in modes() {
+            parallel::set_num_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{picks}of{num_rows}_d{dim}")),
+                &(&store, &indices),
+                |bch, (store, indices)| {
+                    bch.iter(|| {
+                        black_box(Matrix::gather_flat(
+                            store.as_slice(),
+                            dim,
+                            num_rows,
+                            indices,
+                        ))
+                    });
+                },
+            );
+        }
+        parallel::set_num_threads(0);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_scaling,
+    bench_aggregate_scaling,
+    bench_gather_scaling
+);
+criterion_main!(benches);

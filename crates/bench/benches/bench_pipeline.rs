@@ -19,12 +19,16 @@ fn bench_epoch(c: &mut Criterion) {
         SystemKind::GnnAdvisor,
         SystemKind::FastGl,
     ] {
-        group.bench_with_input(BenchmarkId::new("system", kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut sys = kind.build(cfg.clone());
-                black_box(sys.run_epoch(&data, 0))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("system", kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut sys = kind.build(cfg.clone());
+                    black_box(sys.run_epoch(&data, 0))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -17,11 +17,7 @@ fn main() {
         let t = Instant::now();
         let report = runner(&scale);
         print!("{}", report.to_text());
-        println!(
-            "[{} finished in {:.1}s]\n",
-            id,
-            t.elapsed().as_secs_f64()
-        );
+        println!("[{} finished in {:.1}s]\n", id, t.elapsed().as_secs_f64());
         if let Err(e) = report.write_csv(std::path::Path::new("results")) {
             eprintln!("warning: could not write CSVs for {id}: {e}");
         }

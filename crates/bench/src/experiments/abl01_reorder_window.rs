@@ -21,7 +21,13 @@ pub fn run(scale: &BenchScale) -> Report {
     let data = scale.bundle(Dataset::Products);
     let mut table = Table::new(
         "GCN/Products, 1 GPU, cache disabled (isolating Match-Reorder)",
-        &["window", "epoch IO", "rows loaded", "rows reused", "harness reorder time"],
+        &[
+            "window",
+            "epoch IO",
+            "rows loaded",
+            "rows reused",
+            "harness reorder time",
+        ],
     );
     for window in [2usize, 4, 8, 16, 32] {
         let mut cfg = base_config(scale).with_gpus(1).with_cache_ratio(0.0);

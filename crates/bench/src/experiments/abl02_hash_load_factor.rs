@@ -37,7 +37,14 @@ pub fn run(scale: &BenchScale) -> Report {
 
     let mut table = Table::new(
         format!("{} distinct IDs from a sampled Products batch", ids.len()),
-        &["capacity factor", "table slots", "load factor", "probes", "probes/ID", "sim time"],
+        &[
+            "capacity factor",
+            "table slots",
+            "load factor",
+            "probes",
+            "probes/ID",
+            "sim time",
+        ],
     );
     for factor in [4.0, 2.0, 1.5, 1.2, 1.05] {
         let map = FusedIdMap::with_capacity_factor(factor);

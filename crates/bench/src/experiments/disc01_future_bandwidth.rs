@@ -35,7 +35,14 @@ pub fn run(scale: &BenchScale) -> Report {
     let data = scale.bundle(Dataset::Papers100M);
     let mut table = Table::new(
         "DGL on Papers100M: per-epoch IO split vs interconnect",
-        &["link", "bandwidth", "gather (stage 1)", "copy (stage 2)", "gather share", "epoch total"],
+        &[
+            "link",
+            "bandwidth",
+            "gather (stage 1)",
+            "copy (stage 2)",
+            "gather share",
+            "epoch total",
+        ],
     );
     for (name, bw) in interconnects() {
         let mut cfg = base_config(scale);

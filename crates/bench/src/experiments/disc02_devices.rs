@@ -22,15 +22,28 @@ pub fn run(scale: &BenchScale) -> Report {
     let data = scale.bundle(Dataset::Products);
     let mut table = Table::new(
         "Per-epoch times on simulated devices (2 GPUs each)",
-        &["device", "DGL", "FastGL", "speedup", "DGL compute", "FastGL compute"],
+        &[
+            "device",
+            "DGL",
+            "FastGL",
+            "speedup",
+            "DGL compute",
+            "FastGL compute",
+        ],
     );
-    for device in [DeviceSpec::rtx3090(), DeviceSpec::a100(), DeviceSpec::h100()] {
+    for device in [
+        DeviceSpec::rtx3090(),
+        DeviceSpec::a100(),
+        DeviceSpec::h100(),
+    ] {
         let mut cfg = base_config(scale);
         cfg.system.device = device.clone();
         let s_dgl = SystemKind::Dgl
             .build(cfg.clone())
             .run_epochs(&data, scale.epochs);
-        let s_fast = SystemKind::FastGl.build(cfg).run_epochs(&data, scale.epochs);
+        let s_fast = SystemKind::FastGl
+            .build(cfg)
+            .run_epochs(&data, scale.epochs);
         table.push_row(vec![
             device.name.clone(),
             fmt_secs(s_dgl.total().as_secs_f64()),

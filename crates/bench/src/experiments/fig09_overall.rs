@@ -11,12 +11,7 @@ use fastgl_gnn::ModelKind;
 use fastgl_graph::Dataset;
 
 /// Epoch time of one (system, model, dataset) cell.
-pub fn epoch_time(
-    scale: &BenchScale,
-    kind: SystemKind,
-    model: ModelKind,
-    dataset: Dataset,
-) -> f64 {
+pub fn epoch_time(scale: &BenchScale, kind: SystemKind, model: ModelKind, dataset: Dataset) -> f64 {
     let data = scale.bundle(dataset);
     let mut sys = kind.build(base_config(scale).with_model(model));
     sys.run_epochs(&data, scale.epochs).total().as_secs_f64()
@@ -32,7 +27,15 @@ pub fn run(scale: &BenchScale) -> Report {
     for model in ModelKind::ALL {
         let mut table = Table::new(
             format!("{model}: per-epoch time and FastGL speedup"),
-            &["graph", "DGL", "GNNAdvisor", "GNNLab", "FastGL", "vs DGL", "vs GNNLab"],
+            &[
+                "graph",
+                "DGL",
+                "GNNAdvisor",
+                "GNNLab",
+                "FastGL",
+                "vs DGL",
+                "vs GNNLab",
+            ],
         );
         for dataset in Dataset::ALL {
             let dgl = epoch_time(scale, SystemKind::Dgl, model, dataset);

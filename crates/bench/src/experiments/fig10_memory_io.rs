@@ -37,7 +37,14 @@ pub fn run(scale: &BenchScale) -> Report {
     // (b) Reorder ablation on one GPU across datasets.
     let mut b = Table::new(
         "(b) GCN memory-IO time per epoch, 1 GPU (DGL vs Match-only vs Match+Reorder)",
-        &["graph", "DGL", "w/o reorder", "w/ reorder", "rows loaded w/o", "rows loaded w/"],
+        &[
+            "graph",
+            "DGL",
+            "w/o reorder",
+            "w/ reorder",
+            "rows loaded w/o",
+            "rows loaded w/",
+        ],
     );
     for dataset in Dataset::CORE4 {
         let data = scale.bundle(dataset);

@@ -45,7 +45,14 @@ pub fn run(scale: &BenchScale) -> Report {
     );
     let mut table = Table::new(
         "Computation time; GNNAdvisor's preprocessing share in the last column",
-        &["graph", "DGL (naive)", "GNNAdvisor", "FastGL (MA)", "FastGL speedup", "Advisor preproc%"],
+        &[
+            "graph",
+            "DGL (naive)",
+            "GNNAdvisor",
+            "FastGL (MA)",
+            "FastGL speedup",
+            "Advisor preproc%",
+        ],
     );
     for dataset in Dataset::ALL {
         let (naive, _) = compute_time(scale, dataset, ComputeMode::Naive);

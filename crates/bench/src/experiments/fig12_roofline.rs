@@ -38,7 +38,13 @@ pub fn run(scale: &BenchScale) -> Report {
 
     let mut table = Table::new(
         "Aggregation of the widest block (forward; backward is symmetric)",
-        &["framework", "OI (FLOP/byte)", "achieved GFLOP/s", "roof GFLOP/s", "% of roof"],
+        &[
+            "framework",
+            "OI (FLOP/byte)",
+            "achieved GFLOP/s",
+            "roof GFLOP/s",
+            "% of roof",
+        ],
     );
     let block = &sg.blocks[0];
     let w = &workloads[0];
@@ -51,11 +57,7 @@ pub fn run(scale: &BenchScale) -> Report {
     let naive = kernel.naive_cost(&trace);
     let ma = kernel.memory_aware_cost(&trace);
     for (name, cost) in [("DGL (naive)", naive), ("FastGL (Memory-Aware)", ma)] {
-        let pt = RooflinePoint::from_profile(
-            &cfg.system.device,
-            &cost.profile,
-            cost.cost.time(),
-        );
+        let pt = RooflinePoint::from_profile(&cfg.system.device, &cost.profile, cost.cost.time());
         table.push_row(vec![
             name.into(),
             format!("{:.2}", pt.operational_intensity),

@@ -17,7 +17,15 @@ pub fn run(scale: &BenchScale) -> Report {
     );
     let mut table = Table::new(
         "Visible sample time (GNNLab's overlap hides part of its sampling)",
-        &["graph", "PyG", "DGL", "GNNLab", "FastGL", "PyG/FastGL", "DGL/FastGL"],
+        &[
+            "graph",
+            "PyG",
+            "DGL",
+            "GNNLab",
+            "FastGL",
+            "PyG/FastGL",
+            "DGL/FastGL",
+        ],
     );
     for dataset in Dataset::ALL {
         let data = scale.bundle(dataset);

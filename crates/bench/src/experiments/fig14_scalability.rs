@@ -87,20 +87,30 @@ pub fn run(scale: &BenchScale) -> Report {
     // (c) Feature dimension: regenerate Products with overridden widths.
     let mut c = Table::new(
         "(c) epoch time and compute time vs feature dimension",
-        &["dim", "DGL", "FastGL", "speedup", "DGL compute", "FastGL compute"],
+        &[
+            "dim",
+            "DGL",
+            "FastGL",
+            "speedup",
+            "DGL compute",
+            "FastGL compute",
+        ],
     );
     for dim in [64usize, 128, 256, 512] {
-        let mut spec = Dataset::Products.spec().scaled(scale.factor(Dataset::Products));
-        spec.train_fraction = ((scale.target_batches * scale.batch_size) as f64
-            / spec.num_nodes as f64)
-            .min(0.66);
+        let mut spec = Dataset::Products
+            .spec()
+            .scaled(scale.factor(Dataset::Products));
+        spec.train_fraction =
+            ((scale.target_batches * scale.batch_size) as f64 / spec.num_nodes as f64).min(0.66);
         spec.feature_dim = dim;
         let dim_data = spec.generate(scale.seed);
         let cfg = base_config(scale);
         let s_dgl = SystemKind::Dgl
             .build(cfg.clone())
             .run_epochs(&dim_data, scale.epochs);
-        let s_fast = SystemKind::FastGl.build(cfg).run_epochs(&dim_data, scale.epochs);
+        let s_fast = SystemKind::FastGl
+            .build(cfg)
+            .run_epochs(&dim_data, scale.epochs);
         c.push_row(vec![
             dim.to_string(),
             fmt_secs(s_dgl.total().as_secs_f64()),
@@ -115,7 +125,14 @@ pub fn run(scale: &BenchScale) -> Report {
     // (d) Fanouts / hops.
     let mut d = Table::new(
         "(d) epoch time and sample time vs fanout configuration",
-        &["fanouts", "DGL", "GNNLab", "FastGL", "DGL sample", "FastGL sample"],
+        &[
+            "fanouts",
+            "DGL",
+            "GNNLab",
+            "FastGL",
+            "DGL sample",
+            "FastGL sample",
+        ],
     );
     for fanouts in [vec![5usize, 10], vec![5, 10, 15], vec![5, 5, 10, 10]] {
         let label = format!("{fanouts:?}");
@@ -126,7 +143,9 @@ pub fn run(scale: &BenchScale) -> Report {
         let s_lab = SystemKind::GnnLab
             .build(cfg.clone())
             .run_epochs(&data, scale.epochs);
-        let s_fast = SystemKind::FastGl.build(cfg).run_epochs(&data, scale.epochs);
+        let s_fast = SystemKind::FastGl
+            .build(cfg)
+            .run_epochs(&data, scale.epochs);
         d.push_row(vec![
             label,
             fmt_secs(s_dgl.total().as_secs_f64()),

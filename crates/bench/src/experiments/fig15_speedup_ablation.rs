@@ -40,7 +40,10 @@ pub fn run(scale: &BenchScale) -> Report {
         &["variant", "avg speedup", "min", "max"],
     );
     for ((name, _), speedups) in variants.iter().zip(&per_dataset) {
-        let avg = speedups.iter().product::<f64>().powf(1.0 / speedups.len() as f64);
+        let avg = speedups
+            .iter()
+            .product::<f64>()
+            .powf(1.0 / speedups.len() as f64);
         let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = speedups.iter().cloned().fold(0.0, f64::max);
         table.push_row(vec![

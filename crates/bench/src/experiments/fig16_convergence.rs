@@ -15,7 +15,11 @@ use fastgl_graph::NodeId;
 /// The labelled graph used for convergence runs: Reddit-like community
 /// structure at a size real training handles in seconds.
 pub fn convergence_graph(scale: &BenchScale) -> community::CommunityGraph {
-    let nodes = if scale.extra_factor < 1.0 { 1_500 } else { 4_000 };
+    let nodes = if scale.extra_factor < 1.0 {
+        1_500
+    } else {
+        4_000
+    };
     community::generate(
         &CommunityConfig {
             num_nodes: nodes,
@@ -60,7 +64,12 @@ pub fn run(scale: &BenchScale) -> Report {
             format!("{model}: mean loss per epoch (real training)"),
             &["epoch", "DGL", "FastGL"],
         );
-        for (e, (a, b)) in dgl.epoch_losses.iter().zip(&fastgl.epoch_losses).enumerate() {
+        for (e, (a, b)) in dgl
+            .epoch_losses
+            .iter()
+            .zip(&fastgl.epoch_losses)
+            .enumerate()
+        {
             table.push_row(vec![e.to_string(), format!("{a:.4}"), format!("{b:.4}")]);
         }
         report.tables.push(table);

@@ -46,7 +46,10 @@ pub type Experiment = (&'static str, fn(&BenchScale) -> Report);
 pub fn all() -> Vec<Experiment> {
     vec![
         ("fig01_breakdown", fig01_breakdown::run as _),
-        ("fig03_ablation_breakdown", fig03_ablation_breakdown::run as _),
+        (
+            "fig03_ablation_breakdown",
+            fig03_ablation_breakdown::run as _,
+        ),
         ("tab01_left_memory", tab01_left_memory::run as _),
         ("tab02_cache_hit", tab02_cache_hit::run as _),
         ("tab03_memory_levels", tab03_memory_levels::run as _),

@@ -27,8 +27,8 @@ pub fn left_memory(dataset: Dataset) -> u64 {
     let spec = dataset.spec();
     let fanouts = [5usize, 10, 15];
     let batch = 8_000u64;
-    let model = ModelConfig::paper(ModelKind::Gcn, spec.feature_dim, spec.num_classes)
-        .with_hidden(256);
+    let model =
+        ModelConfig::paper(ModelKind::Gcn, spec.feature_dim, spec.num_classes).with_hidden(256);
     let dims = model.layer_dims();
 
     // Frontier sizes per hop for the workload census.

@@ -34,18 +34,16 @@ pub fn run(scale: &BenchScale) -> Report {
             .copied()
             .collect();
         let (sg, _) = sampler.sample_batch(&data.graph, &seeds, &mut rng);
-        let model = ModelConfig::paper(ModelKind::Gcn, data.spec.feature_dim, data.spec.num_classes);
+        let model =
+            ModelConfig::paper(ModelKind::Gcn, data.spec.feature_dim, data.spec.num_classes);
         let workloads = census(&sg, &model.layer_dims());
         // The widest (input-side) block dominates the aggregation traffic.
         let block = &sg.blocks[0];
         let w = &workloads[0];
         // Replay against capacities scaled like the workload, so the
         // cache-to-working-set ratio matches the paper's full-size regime.
-        let kernel = AggregationKernel::new(
-            cfg.system.device.clone(),
-            cfg.system.cost.clone(),
-        )
-        .with_capacity_scale(data.spec.scale);
+        let kernel = AggregationKernel::new(cfg.system.device.clone(), cfg.system.cost.clone())
+            .with_capacity_scale(data.spec.scale);
         let trace = SubgraphLayerTrace {
             offsets: &block.src_offsets,
             sources: &block.src_locals,

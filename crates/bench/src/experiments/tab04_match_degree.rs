@@ -25,12 +25,7 @@ pub fn measure(scale: &BenchScale, dataset: Dataset, window: usize) -> (f64, f64
     let data = scale.bundle(dataset);
     let cfg = base_config(scale);
     let sampler = SamplerEngine::new(&cfg);
-    let plan = MinibatchPlan::new(
-        data.train_nodes(),
-        scale.batch_size as usize,
-        scale.seed,
-        0,
-    );
+    let plan = MinibatchPlan::new(data.train_nodes(), scale.batch_size as usize, scale.seed, 0);
     let mut rng = DeterministicRng::seed(scale.seed ^ 4);
     let sets: Vec<Vec<NodeId>> = plan
         .iter()

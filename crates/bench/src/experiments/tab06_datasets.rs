@@ -20,7 +20,14 @@ pub fn run(scale: &BenchScale) -> Report {
     );
     let mut published = Table::new(
         "Published full-scale statistics (paper Table 6)",
-        &["graph", "nodes", "edges", "features", "classes", "avg degree"],
+        &[
+            "graph",
+            "nodes",
+            "edges",
+            "features",
+            "classes",
+            "avg degree",
+        ],
     );
     for dataset in Dataset::ALL {
         let spec = dataset.spec();
@@ -38,8 +45,14 @@ pub fn run(scale: &BenchScale) -> Report {
     let mut generated = Table::new(
         "Generated stand-ins at benchmark scale (measured)",
         &[
-            "graph", "scale", "nodes", "edges", "avg deg (target)", "avg deg (got)",
-            "degree gini", "top-1% edge share",
+            "graph",
+            "scale",
+            "nodes",
+            "edges",
+            "avg deg (target)",
+            "avg deg (got)",
+            "degree gini",
+            "top-1% edge share",
         ],
     );
     for dataset in Dataset::ALL {

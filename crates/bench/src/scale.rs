@@ -52,7 +52,10 @@ impl BenchScale {
 
     /// Reads the profile from the environment (`FASTGL_QUICK`).
     pub fn from_env() -> Self {
-        if std::env::var("FASTGL_QUICK").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("FASTGL_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Self::quick()
         } else {
             Self::default_profile()
@@ -87,9 +90,8 @@ impl BenchScale {
             return b.clone();
         }
         let mut spec = dataset.spec().scaled(self.factor(dataset));
-        spec.train_fraction = ((self.target_batches * self.batch_size) as f64
-            / spec.num_nodes as f64)
-            .min(0.66);
+        spec.train_fraction =
+            ((self.target_batches * self.batch_size) as f64 / spec.num_nodes as f64).min(0.66);
         let bundle = spec.generate(self.seed);
         cache
             .lock()

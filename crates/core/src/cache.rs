@@ -83,21 +83,43 @@ impl FeatureCache {
 
     /// Splits a **sorted** load list into `(hits, misses)`: hits are served
     /// by the cache, misses must cross PCIe.
+    ///
+    /// Parallelised over contiguous ranges of the load list: each worker
+    /// binary-searches its own starting point in the sorted cache and runs
+    /// the two-pointer merge from there, so per-range results concatenate
+    /// to exactly the serial answer.
     pub fn partition(&self, load: &[NodeId]) -> (u64, Vec<NodeId>) {
         debug_assert!(load.windows(2).all(|w| w[0] < w[1]));
+        let parts = fastgl_tensor::parallel::par_chunk_results(
+            load.len(),
+            fastgl_tensor::parallel::GATHER_GRAIN_ROWS * 4,
+            |range| {
+                let chunk = &load[range];
+                let mut hits = 0u64;
+                let mut misses = Vec::with_capacity(chunk.len());
+                let mut j = match chunk.first() {
+                    Some(first) => self.cached.partition_point(|&c| c < first.0),
+                    None => 0,
+                };
+                for &node in chunk {
+                    while j < self.cached.len() && self.cached[j] < node.0 {
+                        j += 1;
+                    }
+                    if j < self.cached.len() && self.cached[j] == node.0 {
+                        hits += 1;
+                        j += 1;
+                    } else {
+                        misses.push(node);
+                    }
+                }
+                (hits, misses)
+            },
+        );
         let mut hits = 0u64;
         let mut misses = Vec::with_capacity(load.len());
-        let mut j = 0usize;
-        for &node in load {
-            while j < self.cached.len() && self.cached[j] < node.0 {
-                j += 1;
-            }
-            if j < self.cached.len() && self.cached[j] == node.0 {
-                hits += 1;
-                j += 1;
-            } else {
-                misses.push(node);
-            }
+        for (h, m) in parts {
+            hits += h;
+            misses.extend(m);
         }
         (hits, misses)
     }

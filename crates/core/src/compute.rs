@@ -148,7 +148,11 @@ impl ComputeEngine {
 
             // Attention models do extra per-edge work (scores, softmax);
             // charge the aggregation 1.5x for GAT.
-            let gat_factor = if self.model == ModelKind::Gat { 1.5 } else { 1.0 };
+            let gat_factor = if self.model == ModelKind::Gat {
+                1.5
+            } else {
+                1.0
+            };
             // Aggregation runs forward and backward (Eq. 1 and Eq. 5).
             let one_pass = agg.cost.time();
             let agg_total = (one_pass + one_pass) * gat_factor;
@@ -174,9 +178,8 @@ impl ComputeEngine {
 
             // GNNAdvisor preprocesses every sampled subgraph before compute.
             if self.mode == ComputeMode::Advisor {
-                let p = SimTime::from_secs_f64(
-                    w.nnz as f64 * self.spec.cost.preprocess_edge_ns * 1e-9,
-                );
+                let p =
+                    SimTime::from_secs_f64(w.nnz as f64 * self.spec.cost.preprocess_edge_ns * 1e-9);
                 preprocess += p;
                 time += p;
             }

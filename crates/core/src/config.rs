@@ -78,6 +78,12 @@ pub struct FastGlConfig {
     pub sample_device: SampleDevice,
     /// Master random seed.
     pub seed: u64,
+    /// CPU worker threads for the host-side execution backend (dense
+    /// kernels, aggregation, sampling, feature gather). `None` defers to
+    /// the `FASTGL_THREADS` environment variable and then the machine's
+    /// core count; `Some(1)` forces the exact serial path. Results are
+    /// bit-identical at any setting.
+    pub threads: Option<usize>,
 }
 
 impl FastGlConfig {
@@ -135,6 +141,18 @@ impl FastGlConfig {
         self
     }
 
+    /// Returns the config with an explicit CPU worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Installs this config's thread count as the process-wide setting of
+    /// the execution backend (`None` clears any previous override).
+    pub fn apply_threads(&self) {
+        fastgl_tensor::parallel::set_num_threads(self.threads.unwrap_or(0));
+    }
+
     /// Number of GNN layers implied by the sampler (one per hop for the
     /// neighbour sampler; random walks build one block).
     pub fn num_layers(&self) -> usize {
@@ -153,7 +171,7 @@ impl FastGlConfig {
         if self.batch_size == 0 {
             return Err("batch_size must be positive".into());
         }
-        if self.fanouts.is_empty() || self.fanouts.iter().any(|&f| f == 0) {
+        if self.fanouts.is_empty() || self.fanouts.contains(&0) {
             return Err("fanouts must be non-empty and positive".into());
         }
         if self.reorder_window < 2 && self.enable_reorder {
@@ -166,6 +184,9 @@ impl FastGlConfig {
         }
         if self.hidden_dim == 0 {
             return Err("hidden_dim must be positive".into());
+        }
+        if self.threads == Some(0) {
+            return Err("threads must be positive when set".into());
         }
         Ok(())
     }
@@ -190,6 +211,7 @@ impl Default for FastGlConfig {
             id_map: IdMapKind::Fused,
             sample_device: SampleDevice::Gpu,
             seed: 0x5EED,
+            threads: None,
         }
     }
 }
@@ -241,7 +263,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fields() {
-        assert!(FastGlConfig::default().with_batch_size(0).validate().is_err());
+        assert!(FastGlConfig::default()
+            .with_batch_size(0)
+            .validate()
+            .is_err());
         assert!(FastGlConfig::default()
             .with_fanouts(vec![])
             .validate()
@@ -254,9 +279,23 @@ mod tests {
             .with_cache_ratio(1.5)
             .validate()
             .is_err());
-        assert!(FastGlConfig::default().with_hidden_dim(0).validate().is_err());
-        let mut c = FastGlConfig::default();
-        c.reorder_window = 1;
+        assert!(FastGlConfig::default()
+            .with_hidden_dim(0)
+            .validate()
+            .is_err());
+        assert!(FastGlConfig::default().with_threads(0).validate().is_err());
+        let c = FastGlConfig {
+            reorder_window: 1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn threads_default_and_builder() {
+        assert_eq!(FastGlConfig::default().threads, None);
+        let c = FastGlConfig::default().with_threads(4);
+        assert_eq!(c.threads, Some(4));
+        c.validate().unwrap();
     }
 }

@@ -113,7 +113,9 @@ mod tests {
     fn probe(counter: &mut HotnessCounter, graph: &Csr, seed: u64) {
         let sampler = NeighborSampler::new(vec![3, 5]);
         let mut rng = DeterministicRng::seed(seed);
-        let seeds: Vec<NodeId> = (0..32).map(|i| NodeId((i * 13 + seed) % graph.num_nodes())).collect();
+        let seeds: Vec<NodeId> = (0..32)
+            .map(|i| NodeId((i * 13 + seed) % graph.num_nodes()))
+            .collect();
         let (sg, _) = sampler.sample(graph, &seeds, &FusedIdMap::new(), &mut rng);
         counter.record(&sg);
     }
@@ -206,6 +208,9 @@ mod tests {
         // The seeds themselves must be hot.
         let top: std::collections::HashSet<NodeId> = hot[..400].iter().copied().collect();
         let seeds_in_top = seeds.iter().filter(|s| top.contains(s)).count();
-        assert!(seeds_in_top > 16, "only {seeds_in_top} of 32 seeds ranked hot");
+        assert!(
+            seeds_in_top > 16,
+            "only {seeds_in_top} of 32 seeds ranked hot"
+        );
     }
 }

@@ -35,8 +35,8 @@ pub mod system;
 pub mod trainer;
 
 pub use cache::FeatureCache;
-pub use hotness::{CacheRankPolicy, HotnessCounter};
 pub use compute::{ComputeEngine, ComputeResult};
 pub use config::{ComputeMode, FastGlConfig, IdMapKind, SampleDevice, SamplerKind};
+pub use hotness::{CacheRankPolicy, HotnessCounter};
 pub use pipeline::{CachePolicy, FastGl, Pipeline, PipelinePolicy};
 pub use system::{EpochStats, TrainingSystem};

@@ -89,7 +89,13 @@ mod tests {
         let m: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 (0..n)
-                    .map(|j| if i == j { 0.0 } else { ((i * 31 + j * 17) % 97) as f64 / 97.0 })
+                    .map(|j| {
+                        if i == j {
+                            0.0
+                        } else {
+                            ((i * 31 + j * 17) % 97) as f64 / 97.0
+                        }
+                    })
                     .collect()
             })
             .collect();

@@ -66,6 +66,7 @@ impl MemoryEstimate {
 ///   [`RUNTIME_RESERVED_BYTES`] at full scale, or a value scaled with the
 ///   workload when simulating a scaled-down device (see
 ///   `Pipeline::probe_auto_cache_rows`).
+#[allow(clippy::too_many_arguments)]
 pub fn estimate_batch_memory_with_runtime(
     workloads: &[LayerWorkload],
     param_bytes: u64,

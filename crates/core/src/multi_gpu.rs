@@ -66,8 +66,7 @@ impl GpuRoles {
         if self.samplers == 0 {
             return shard_sample_total;
         }
-        let sampler_work =
-            shard_sample_total * (self.trainers as f64 / self.samplers as f64);
+        let sampler_work = shard_sample_total * (self.trainers as f64 / self.samplers as f64);
         sampler_work.saturating_sub(train_total)
     }
 }
@@ -126,7 +125,7 @@ mod tests {
     #[test]
     fn sample_hiding_semantics() {
         let r = GpuRoles::new(2, 1); // 1 trainer, 1 sampler
-        // Sampler keeps up: fully hidden.
+                                     // Sampler keeps up: fully hidden.
         assert_eq!(r.visible_sample_time(t(100), t(500)), SimTime::ZERO);
         // Sampler falls behind: the excess shows.
         assert_eq!(r.visible_sample_time(t(800), t(500)), t(300));
@@ -138,7 +137,7 @@ mod tests {
     #[test]
     fn two_samplers_halve_the_sampler_work() {
         let r = GpuRoles::new(8, 2); // 6 trainers, 2 samplers
-        // Work = 6/2 * shard sample.
+                                     // Work = 6/2 * shard sample.
         assert_eq!(r.visible_sample_time(t(100), SimTime::ZERO), t(300));
     }
 

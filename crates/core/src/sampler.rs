@@ -73,9 +73,7 @@ impl SamplerEngine {
         match self.kind {
             SamplerKind::Neighbor => self.neighbor.sample(graph, seeds, self.id_mapper(), rng),
             SamplerKind::RandomWalk => self.walk.sample(graph, seeds, self.id_mapper(), rng),
-            SamplerKind::LayerWise => {
-                self.layer_wise.sample(graph, seeds, self.id_mapper(), rng)
-            }
+            SamplerKind::LayerWise => self.layer_wise.sample(graph, seeds, self.id_mapper(), rng),
         }
     }
 
@@ -138,8 +136,10 @@ mod tests {
     fn cpu_sampling_is_far_slower_than_gpu() {
         let g = graph();
         let cost = CostParams::default();
-        let mut cfg = FastGlConfig::default();
-        cfg.fanouts = vec![5, 5];
+        let mut cfg = FastGlConfig {
+            fanouts: vec![5, 5],
+            ..Default::default()
+        };
         let gpu = engine(&cfg);
         cfg.sample_device = SampleDevice::Cpu;
         let cpu = engine(&cfg);
@@ -159,8 +159,10 @@ mod tests {
     fn fused_map_is_faster_than_baseline() {
         let g = graph();
         let cost = CostParams::default();
-        let mut cfg = FastGlConfig::default();
-        cfg.fanouts = vec![5, 10];
+        let mut cfg = FastGlConfig {
+            fanouts: vec![5, 10],
+            ..Default::default()
+        };
         let fused = engine(&cfg);
         cfg.id_map = IdMapKind::Baseline;
         let base = engine(&cfg);
@@ -182,9 +184,11 @@ mod tests {
         // phase on GPU.
         let g = graph();
         let cost = CostParams::default();
-        let mut cfg = FastGlConfig::default();
-        cfg.fanouts = vec![5, 10];
-        cfg.id_map = IdMapKind::Baseline;
+        let cfg = FastGlConfig {
+            fanouts: vec![5, 10],
+            id_map: IdMapKind::Baseline,
+            ..Default::default()
+        };
         let base = engine(&cfg);
         let mut rng = DeterministicRng::seed(3);
         let (_, stats) = base.sample_batch(&g, &seeds(), &mut rng);

@@ -111,11 +111,7 @@ pub fn train_with_validation(
     let feats = features
         .as_slice()
         .expect("convergence training needs materialized features");
-    assert_eq!(
-        labels.len() as u64,
-        graph.num_nodes(),
-        "one label per node"
-    );
+    assert_eq!(labels.len() as u64, graph.num_nodes(), "one label per node");
     assert!(!train_nodes.is_empty(), "no training nodes");
     let num_classes = labels.iter().copied().max().unwrap_or(0) as usize + 1;
     let dim = features.dim();
@@ -133,6 +129,13 @@ pub fn train_with_validation(
     let mut epoch_losses = Vec::new();
     let mut val_accuracy = Vec::new();
     let mut last_logits_labels: Option<(Matrix, Vec<u32>)> = None;
+
+    // Gather a subgraph's feature rows (the memory IO phase); runs on the
+    // parallel backend above the gather cutoff.
+    let gather = |sg: &SampledSubgraph| -> Matrix {
+        let idx: Vec<usize> = sg.nodes.iter().map(|n| n.index()).collect();
+        Matrix::gather_flat(feats, dim, labels.len(), &idx)
+    };
 
     for epoch in 0..config.epochs {
         let plan = MinibatchPlan::new(train_nodes, config.batch_size, config.seed, epoch as u64);
@@ -158,12 +161,7 @@ pub fn train_with_validation(
 
             for &idx in &order {
                 let sg = &subgraphs[idx];
-                // Gather the subgraph's feature rows (the memory IO phase).
-                let mut x = Matrix::zeros(sg.num_nodes() as usize, dim);
-                for (local, node) in sg.nodes.iter().enumerate() {
-                    x.row_mut(local)
-                        .copy_from_slice(&feats[node.index() * dim..node.index() * dim + dim]);
-                }
+                let x = gather(sg);
                 let batch_labels: Vec<u32> = sg
                     .seed_locals
                     .iter()
@@ -188,11 +186,7 @@ pub fn train_with_validation(
             let mut total = 0usize;
             for seeds in val_nodes.chunks(config.batch_size) {
                 let (sg, _) = sampler.sample(graph, seeds, &id_map, &mut val_rng);
-                let mut x = Matrix::zeros(sg.num_nodes() as usize, dim);
-                for (local, node) in sg.nodes.iter().enumerate() {
-                    x.row_mut(local)
-                        .copy_from_slice(&feats[node.index() * dim..node.index() * dim + dim]);
-                }
+                let x = gather(&sg);
                 let batch_labels: Vec<u32> = sg
                     .seed_locals
                     .iter()
@@ -293,7 +287,13 @@ mod tests {
     #[test]
     fn loss_decreases_over_epochs() {
         let d = data();
-        let run = train(&d.graph, &d.features, &d.labels, &nodes(600), &quick_config());
+        let run = train(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &nodes(600),
+            &quick_config(),
+        );
         assert_eq!(run.epoch_losses.len(), 4);
         let first = run.epoch_losses[0];
         let last = *run.epoch_losses.last().unwrap();
@@ -386,7 +386,13 @@ mod tests {
         assert!(last > 0.8, "final val accuracy {last}");
         assert!(run.val_accuracy.iter().all(|a| (0.0..=1.0).contains(a)));
         // Plain train() records no validation.
-        let plain = train(&d.graph, &d.features, &d.labels, &train_nodes, &quick_config());
+        let plain = train(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &train_nodes,
+            &quick_config(),
+        );
         assert!(plain.val_accuracy.is_empty());
     }
 

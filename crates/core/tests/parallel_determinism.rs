@@ -1,0 +1,144 @@
+//! The execution backend's central guarantee: every hot path produces
+//! bit-identical results at any thread count, and repeated runs at the
+//! same thread count are bit-identical too.
+
+use fastgl_gnn::aggregate::{mean_aggregate, sum_aggregate_backward};
+use fastgl_graph::generate::rmat::{self, RmatConfig};
+use fastgl_graph::{DeterministicRng, NodeId};
+use fastgl_sample::{Block, FusedIdMap, NeighborSampler, SampledSubgraph};
+use fastgl_tensor::{parallel, Matrix};
+use std::sync::Mutex;
+
+/// Serializes tests in this binary that flip the global thread override.
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+    parallel::set_num_threads(n);
+    let r = f();
+    parallel::set_num_threads(0);
+    r
+}
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = DeterministicRng::seed(seed);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.normal_f32()).collect(),
+    )
+}
+
+/// A block with `num_dst` destinations, each pulling `deg` of `num_src`
+/// source rows (shared sources exercise accumulation order).
+fn fanout_block(num_dst: usize, num_src: usize, deg: usize) -> Block {
+    let mut src_offsets = vec![0u64];
+    let mut src_locals = Vec::with_capacity(num_dst * deg);
+    for i in 0..num_dst {
+        for e in 0..deg {
+            src_locals.push(((i * 31 + e * 977) % num_src) as u64);
+        }
+        src_offsets.push(src_locals.len() as u64);
+    }
+    Block {
+        dst_locals: (0..num_dst as u64).collect(),
+        src_offsets,
+        src_locals,
+    }
+}
+
+#[test]
+fn matmul_bit_identical_across_thread_counts() {
+    let a = filled(300, 150, 1);
+    let b = filled(150, 90, 2);
+    let baseline = with_threads(1, || a.matmul(&b));
+    for threads in [1usize, 2, 8] {
+        for run in 0..2 {
+            let got = with_threads(threads, || a.matmul(&b));
+            assert_eq!(
+                got.as_slice(),
+                baseline.as_slice(),
+                "matmul diverged at {threads} threads (run {run})"
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregation_bit_identical_across_thread_counts() {
+    let num_dst = 700;
+    let num_src = 1_500;
+    let block = fanout_block(num_dst, num_src, 11);
+    let z = filled(num_src, 48, 3);
+    let grad = filled(num_dst, 48, 4);
+    let baseline = with_threads(1, || {
+        (
+            mean_aggregate(&block, &z),
+            sum_aggregate_backward(&block, &grad, num_src),
+        )
+    });
+    for threads in [1usize, 2, 8] {
+        for run in 0..2 {
+            let got = with_threads(threads, || {
+                (
+                    mean_aggregate(&block, &z),
+                    sum_aggregate_backward(&block, &grad, num_src),
+                )
+            });
+            assert_eq!(
+                got.0.as_slice(),
+                baseline.0.as_slice(),
+                "mean_aggregate diverged at {threads} threads (run {run})"
+            );
+            assert_eq!(
+                got.1.as_slice(),
+                baseline.1.as_slice(),
+                "sum_aggregate_backward diverged at {threads} threads (run {run})"
+            );
+        }
+    }
+}
+
+/// One full mini-batch — sample, gather, aggregate, dense update — must be
+/// bit-identical across `FASTGL_THREADS ∈ {1, 2, 8}` and repeated runs.
+#[test]
+fn full_minibatch_bit_identical_across_thread_counts() {
+    let graph = rmat::generate(&RmatConfig::social(3_000, 24_000), 5);
+    let seeds: Vec<NodeId> = (0..256).map(|i| NodeId(i * 11 % 3_000)).collect();
+    let dim = 32;
+    let feats: Vec<f32> = {
+        let mut rng = DeterministicRng::seed(7);
+        (0..3_000 * dim).map(|_| rng.normal_f32()).collect()
+    };
+    let weight = filled(dim, 16, 8);
+
+    let minibatch = || -> (SampledSubgraph, Matrix) {
+        let sampler = NeighborSampler::new(vec![4, 6]);
+        let mut rng = DeterministicRng::seed(42);
+        let (sg, _) = sampler.sample(&graph, &seeds, &FusedIdMap::new(), &mut rng);
+        let idx: Vec<usize> = sg.nodes.iter().map(|n| n.index()).collect();
+        let gathered = Matrix::gather_flat(&feats, dim, 3_000, &idx);
+        // One hop of the model: aggregate the widest block, then the dense
+        // update — enough to cover every backend hot path in sequence.
+        let h = mean_aggregate(&sg.blocks[0], &gathered)
+            .matmul(&weight)
+            .map(|x| x.max(0.0));
+        (sg, h)
+    };
+
+    let (base_sg, base_h) = with_threads(1, minibatch);
+    for threads in [1usize, 2, 8] {
+        for run in 0..2 {
+            let (sg, h) = with_threads(threads, minibatch);
+            assert_eq!(
+                sg, base_sg,
+                "sampled subgraph diverged at {threads} threads (run {run})"
+            );
+            assert_eq!(
+                h.as_slice(),
+                base_h.as_slice(),
+                "minibatch output diverged at {threads} threads (run {run})"
+            );
+        }
+    }
+}

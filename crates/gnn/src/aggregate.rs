@@ -7,7 +7,7 @@
 //! `fastgl-gpusim`; the numerics here are what actually trains.
 
 use fastgl_sample::Block;
-use fastgl_tensor::Matrix;
+use fastgl_tensor::{parallel, Matrix};
 
 /// Mean aggregation: `out[u] = (1/|N(u)|) Σ_{v∈N(u)} z[v]`.
 ///
@@ -30,23 +30,43 @@ pub fn sum_aggregate(block: &Block, z: &Matrix) -> Matrix {
     weighted_aggregate(block, z, |_| 1.0)
 }
 
-fn weighted_aggregate(block: &Block, z: &Matrix, weight: impl Fn(usize) -> f32) -> Matrix {
+/// Minimum destination rows per aggregation worker; a chunk this size does
+/// enough row-adds to amortise spawn/join even for skinny feature dims.
+const AGGREGATE_GRAIN_DST: usize = 128;
+
+fn weighted_aggregate(block: &Block, z: &Matrix, weight: impl Fn(usize) -> f32 + Sync) -> Matrix {
     let d = z.cols();
     let mut out = Matrix::zeros(block.num_dst(), d);
-    for i in 0..block.num_dst() {
-        let srcs = block.sources_of(i);
-        if srcs.is_empty() {
-            continue;
-        }
-        let w = weight(srcs.len());
-        let row = out.row_mut(i);
-        for &v in srcs {
-            let src_row = z.row(v as usize);
-            for (o, &x) in row.iter_mut().zip(src_row) {
-                *o += w * x;
-            }
-        }
+    if d == 0 {
+        return out;
     }
+    // Each destination row is an independent reduction over its sources, so
+    // partitioning destinations across threads keeps the serial per-row
+    // (source-ascending) accumulation order exactly.
+    parallel::par_row_chunks_mut(
+        out.as_mut_slice(),
+        d,
+        AGGREGATE_GRAIN_DST,
+        |first_dst, chunk| {
+            for (di, row) in chunk.chunks_mut(d).enumerate() {
+                let srcs = block.sources_of(first_dst + di);
+                if srcs.is_empty() {
+                    continue;
+                }
+                let w = weight(srcs.len());
+                for &v in srcs {
+                    // Equal-length reslice lets the compiler elide the
+                    // per-element bound checks and vectorise the add.
+                    let src_row = z.row(v as usize);
+                    assert_eq!(row.len(), src_row.len());
+                    let src_row = &src_row[..row.len()];
+                    for (o, &x) in row.iter_mut().zip(src_row) {
+                        *o += w * x;
+                    }
+                }
+            }
+        },
+    );
     out
 }
 
@@ -77,7 +97,7 @@ fn weighted_aggregate_backward(
     block: &Block,
     grad: &Matrix,
     num_src_rows: usize,
-    weight: impl Fn(usize) -> f32,
+    weight: impl Fn(usize) -> f32 + Sync,
 ) -> Matrix {
     assert_eq!(
         grad.rows(),
@@ -86,20 +106,52 @@ fn weighted_aggregate_backward(
     );
     let d = grad.cols();
     let mut out = Matrix::zeros(num_src_rows, d);
-    for i in 0..block.num_dst() {
-        let srcs = block.sources_of(i);
-        if srcs.is_empty() {
-            continue;
-        }
-        let w = weight(srcs.len());
-        let g_row = grad.row(i);
-        for &v in srcs {
-            let dst_row = out.row_mut(v as usize);
-            for (o, &g) in dst_row.iter_mut().zip(g_row) {
-                *o += w * g;
+    if d == 0 {
+        for i in 0..block.num_dst() {
+            for &v in block.sources_of(i) {
+                assert!((v as usize) < num_src_rows, "source index out of range");
             }
         }
+        return out;
     }
+    // The scatter is parallelised by partitioning *source* rows: each worker
+    // owns a contiguous range of output rows and scans the whole block CSR,
+    // accumulating only the edges that land in its range. Compared with
+    // per-worker partial buffers folded at the end, this trades P redundant
+    // CSR reads (cheap: the index is a fraction of the feature data) for
+    // zero write conflicts and zero temporary `num_src_rows × d` buffers —
+    // and each output element keeps the serial destination-ascending
+    // accumulation order, so the result is bit-identical at any thread
+    // count.
+    parallel::par_row_chunks_mut(
+        out.as_mut_slice(),
+        d,
+        AGGREGATE_GRAIN_DST,
+        |first_src, chunk| {
+            let src_range = first_src..first_src + chunk.len() / d;
+            for i in 0..block.num_dst() {
+                let srcs = block.sources_of(i);
+                if srcs.is_empty() {
+                    continue;
+                }
+                let w = weight(srcs.len());
+                let g_row = grad.row(i);
+                for &v in srcs {
+                    let v = v as usize;
+                    assert!(v < num_src_rows, "source index out of range");
+                    if !src_range.contains(&v) {
+                        continue;
+                    }
+                    let dst_row = &mut chunk[(v - first_src) * d..(v - first_src + 1) * d];
+                    assert_eq!(dst_row.len(), g_row.len());
+                    let g_row = &g_row[..dst_row.len()];
+                    for (o, &g) in dst_row.iter_mut().zip(g_row) {
+                        *o += w * g;
+                    }
+                }
+            }
+        },
+    );
     out
 }
 

@@ -71,7 +71,10 @@ impl GnnLayer for GcnLayer {
     fn backward(&mut self, block: &Block, grad_out: &Matrix) -> Matrix {
         let input = self.input.as_ref().expect("forward before backward");
         let agg = self.aggregated.as_ref().expect("forward before backward");
-        let pre = self.pre_activation.as_ref().expect("forward before backward");
+        let pre = self
+            .pre_activation
+            .as_ref()
+            .expect("forward before backward");
         let g = if self.activation {
             relu_backward(pre, grad_out)
         } else {

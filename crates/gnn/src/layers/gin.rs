@@ -126,9 +126,21 @@ impl GnnLayer for GinLayer {
 
     fn apply_grads(&mut self, opt: &mut dyn Optimizer, slot_base: usize) -> usize {
         opt.step(slot_base, self.w1.as_mut_slice(), self.grad_w1.as_slice());
-        opt.step(slot_base + 1, self.b1.as_mut_slice(), self.grad_b1.as_slice());
-        opt.step(slot_base + 2, self.w2.as_mut_slice(), self.grad_w2.as_slice());
-        opt.step(slot_base + 3, self.b2.as_mut_slice(), self.grad_b2.as_slice());
+        opt.step(
+            slot_base + 1,
+            self.b1.as_mut_slice(),
+            self.grad_b1.as_slice(),
+        );
+        opt.step(
+            slot_base + 2,
+            self.w2.as_mut_slice(),
+            self.grad_w2.as_slice(),
+        );
+        opt.step(
+            slot_base + 3,
+            self.b2.as_mut_slice(),
+            self.grad_b2.as_slice(),
+        );
         self.grad_w1.scale(0.0);
         self.grad_b1.scale(0.0);
         self.grad_w2.scale(0.0);

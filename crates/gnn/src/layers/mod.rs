@@ -88,7 +88,9 @@ pub(crate) mod test_util {
         let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let data = (0..rows * cols)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 40) as f32 / (1u64 << 24) as f32) - 0.5
             })
             .collect();

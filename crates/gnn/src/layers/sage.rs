@@ -77,7 +77,10 @@ impl GnnLayer for SageLayer {
         let input = self.input.as_ref().expect("forward before backward");
         let self_rows = self.self_rows.as_ref().expect("forward before backward");
         let agg = self.aggregated.as_ref().expect("forward before backward");
-        let pre = self.pre_activation.as_ref().expect("forward before backward");
+        let pre = self
+            .pre_activation
+            .as_ref()
+            .expect("forward before backward");
         let g = if self.activation {
             relu_backward(pre, grad_out)
         } else {
@@ -102,13 +105,21 @@ impl GnnLayer for SageLayer {
     }
 
     fn apply_grads(&mut self, opt: &mut dyn Optimizer, slot_base: usize) -> usize {
-        opt.step(slot_base, self.w_self.as_mut_slice(), self.grad_w_self.as_slice());
+        opt.step(
+            slot_base,
+            self.w_self.as_mut_slice(),
+            self.grad_w_self.as_slice(),
+        );
         opt.step(
             slot_base + 1,
             self.w_neigh.as_mut_slice(),
             self.grad_w_neigh.as_slice(),
         );
-        opt.step(slot_base + 2, self.bias.as_mut_slice(), self.grad_bias.as_slice());
+        opt.step(
+            slot_base + 2,
+            self.bias.as_mut_slice(),
+            self.grad_bias.as_slice(),
+        );
         self.grad_w_self.scale(0.0);
         self.grad_w_neigh.scale(0.0);
         self.grad_bias.scale(0.0);
@@ -199,7 +210,11 @@ mod tests {
             for i in 0..analytic.as_slice().len() {
                 let perturb = |delta: f32| {
                     let mut lp = layer(false);
-                    let w = if which == 0 { &mut lp.w_self } else { &mut lp.w_neigh };
+                    let w = if which == 0 {
+                        &mut lp.w_self
+                    } else {
+                        &mut lp.w_neigh
+                    };
                     w.as_mut_slice()[i] += delta;
                     let out = lp.forward(&block, &x);
                     out.as_slice()

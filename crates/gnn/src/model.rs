@@ -94,7 +94,11 @@ impl ModelConfig {
     pub fn layer_dims(&self) -> Vec<(usize, usize)> {
         (0..self.num_layers)
             .map(|l| {
-                let d_in = if l == 0 { self.input_dim } else { self.hidden_dim };
+                let d_in = if l == 0 {
+                    self.input_dim
+                } else {
+                    self.hidden_dim
+                };
                 let d_out = if l == self.num_layers - 1 {
                     self.num_classes
                 } else {
@@ -114,10 +118,7 @@ impl ModelConfig {
                 ModelKind::Gcn => d_in * d_out + d_out,
                 ModelKind::Sage => 2 * d_in * d_out + d_out,
                 ModelKind::Gin => {
-                    d_in * self.hidden_dim
-                        + self.hidden_dim
-                        + self.hidden_dim * d_out
-                        + d_out
+                    d_in * self.hidden_dim + self.hidden_dim + self.hidden_dim * d_out + d_out
                 }
                 ModelKind::Gat => d_in * d_out + 2 * d_out,
             })
@@ -188,9 +189,7 @@ impl GnnModel {
             };
             match config.kind {
                 ModelKind::Gcn => layers.push(Box::new(GcnLayer::new(d_in, d_out, !last, rng))),
-                ModelKind::Sage => {
-                    layers.push(Box::new(SageLayer::new(d_in, d_out, !last, rng)))
-                }
+                ModelKind::Sage => layers.push(Box::new(SageLayer::new(d_in, d_out, !last, rng))),
                 ModelKind::Gin => layers.push(Box::new(GinLayer::new(
                     d_in,
                     config.hidden_dim,
@@ -282,12 +281,7 @@ impl GnnModel {
     /// parameter gradients in every layer.
     pub fn backward(&mut self, subgraph: &SampledSubgraph, grad_logits: &Matrix) {
         let mut g = grad_logits.clone();
-        for (layer, block) in self
-            .layers
-            .iter_mut()
-            .zip(&subgraph.blocks)
-            .rev()
-        {
+        for (layer, block) in self.layers.iter_mut().zip(&subgraph.blocks).rev() {
             g = layer.backward(block, &g);
         }
     }
@@ -500,7 +494,12 @@ mod tests {
 
     #[test]
     fn analytic_param_count_matches_built_model() {
-        for kind in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Gat, ModelKind::Sage] {
+        for kind in [
+            ModelKind::Gcn,
+            ModelKind::Gin,
+            ModelKind::Gat,
+            ModelKind::Sage,
+        ] {
             let cfg = ModelConfig::paper(kind, 50, 7);
             let mut rng = DeterministicRng::seed(11);
             let model = GnnModel::new(&cfg, &mut rng);

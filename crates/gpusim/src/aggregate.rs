@@ -228,8 +228,8 @@ impl AggregationKernel {
         // Shared-memory requirement per block: 4·X·Y partial sums plus
         // 4·X·avg|N(u)| weights (paper §4.2).
         let avg_deg = if t == 0 { 0 } else { nnz / t.max(1) };
-        let shared_per_block =
-            4 * (self.block_targets * self.block_dims) as u64 + 4 * self.block_targets as u64 * avg_deg.max(1);
+        let shared_per_block = 4 * (self.block_targets * self.block_dims) as u64
+            + 4 * self.block_targets as u64 * avg_deg.max(1);
         assert!(
             shared_per_block <= self.device.l1_bytes_per_sm,
             "tiling needs {shared_per_block} B of shared memory, SM has {}",
@@ -273,8 +273,7 @@ impl AggregationKernel {
     fn replay_caches(&self, trace: &SubgraphLayerTrace<'_>) -> (CacheStats, CacheStats) {
         let d_bytes = trace.feature_dim as u64 * 4;
         let scaled = |bytes: u64, min_lines: u64| {
-            ((bytes as f64 * self.capacity_scale) as u64)
-                .max(self.device.line_bytes * min_lines)
+            ((bytes as f64 * self.capacity_scale) as u64).max(self.device.line_bytes * min_lines)
         };
         let mut l1 = Cache::new(CacheConfig {
             capacity_bytes: scaled(self.device.l1_bytes_per_sm, 32),
@@ -377,7 +376,9 @@ mod tests {
         offsets.push(0);
         for _ in 0..t {
             for _ in 0..deg {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 sources.push((x >> 33) % s);
             }
             offsets.push(sources.len() as u64);

@@ -154,31 +154,25 @@ pub fn sm_occupancy(
     const MAX_RESIDENT_THREADS: u32 = 1536;
     const MAX_RESIDENT_BLOCKS: u32 = 16;
     let by_threads = MAX_RESIDENT_THREADS / threads_per_block;
-    let by_shared = if shared_bytes_per_block == 0 {
-        MAX_RESIDENT_BLOCKS
-    } else {
-        (device.l1_bytes_per_sm / shared_bytes_per_block).min(MAX_RESIDENT_BLOCKS as u64) as u32
-    };
+    let by_shared = device
+        .l1_bytes_per_sm
+        .checked_div(shared_bytes_per_block)
+        .map_or(MAX_RESIDENT_BLOCKS, |b| {
+            b.min(MAX_RESIDENT_BLOCKS as u64) as u32
+        });
     let resident_blocks = by_threads.min(by_shared).min(MAX_RESIDENT_BLOCKS);
     (resident_blocks * threads_per_block) as f64 / MAX_RESIDENT_THREADS as f64
 }
 
 /// Cost of a dense GEMM of `m × k × n` (the *update* phase of a GNN layer)
 /// at the device's calibrated GEMM efficiency.
-pub fn gemm_time(
-    device: &DeviceSpec,
-    params: &CostParams,
-    m: u64,
-    k: u64,
-    n: u64,
-) -> SimTime {
+pub fn gemm_time(device: &DeviceSpec, params: &CostParams, m: u64, k: u64, n: u64) -> SimTime {
     let flops = 2 * m * k * n;
     let compute = flops as f64 / (device.peak_flops * params.gemm_efficiency);
     // Stream A, B once and write C once from global memory.
     let bytes = 4 * (m * k + k * n + m * n);
     let mem = bytes as f64 / device.bw_global;
-    SimTime::from_secs_f64(compute.max(mem))
-        + SimTime::from_nanos(params.kernel_launch_ns)
+    SimTime::from_secs_f64(compute.max(mem)) + SimTime::from_nanos(params.kernel_launch_ns)
 }
 
 #[cfg(test)]
@@ -246,8 +240,8 @@ mod tests {
             ..Default::default()
         };
         let c = p.cost(&dev(), &params());
-        let expected = 5 * params().kernel_launch_ns
-            + (1_000.0 * params().gpu_cas_conflict_ns) as u64;
+        let expected =
+            5 * params().kernel_launch_ns + (1_000.0 * params().gpu_cas_conflict_ns) as u64;
         assert_eq!(c.overhead.as_nanos(), expected);
     }
 

@@ -260,7 +260,11 @@ mod tests {
 
     #[test]
     fn bandwidth_hierarchy_is_ordered_on_every_preset() {
-        for d in [DeviceSpec::rtx3090(), DeviceSpec::a100(), DeviceSpec::h100()] {
+        for d in [
+            DeviceSpec::rtx3090(),
+            DeviceSpec::a100(),
+            DeviceSpec::h100(),
+        ] {
             assert!(d.bw_shared > d.bw_l2, "{}", d.name);
             assert!(d.bw_l2 > d.bw_global, "{}", d.name);
             assert!(d.l2_bytes > d.l1_bytes_per_sm, "{}", d.name);

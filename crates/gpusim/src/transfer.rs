@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn allreduce_zero_for_single_worker() {
-        assert_eq!(ring_allreduce_time(&HostSpec::pcie4(), 1 << 20, 1), SimTime::ZERO);
+        assert_eq!(
+            ring_allreduce_time(&HostSpec::pcie4(), 1 << 20, 1),
+            SimTime::ZERO
+        );
     }
 
     #[test]

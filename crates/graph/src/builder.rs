@@ -152,10 +152,7 @@ mod tests {
 
     #[test]
     fn dedup_removes_duplicates() {
-        let g = GraphBuilder::new(2)
-            .add_edge(0, 1)
-            .add_edge(0, 1)
-            .build();
+        let g = GraphBuilder::new(2).add_edge(0, 1).add_edge(0, 1).build();
         assert_eq!(g.num_edges(), 1);
     }
 
@@ -171,10 +168,7 @@ mod tests {
 
     #[test]
     fn symmetric_adds_reverse_edges() {
-        let g = GraphBuilder::new(3)
-            .symmetric(true)
-            .add_edge(0, 1)
-            .build();
+        let g = GraphBuilder::new(3).symmetric(true).add_edge(0, 1).build();
         assert_eq!(g.neighbors(NodeId(0)), &[1]);
         assert_eq!(g.neighbors(NodeId(1)), &[0]);
     }

@@ -202,11 +202,8 @@ impl Csr {
 
     /// Iterator over all `(source, target)` edges in CSR order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .map(move |&v| (u, NodeId(v)))
-        })
+        self.nodes()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, NodeId(v))))
     }
 
     /// Average out-degree.
@@ -275,10 +272,7 @@ mod tests {
 
     #[test]
     fn rejects_empty_offsets() {
-        assert_eq!(
-            Csr::from_parts(vec![], vec![]),
-            Err(CsrError::EmptyOffsets)
-        );
+        assert_eq!(Csr::from_parts(vec![], vec![]), Err(CsrError::EmptyOffsets));
     }
 
     #[test]

@@ -206,12 +206,7 @@ impl DatasetSpec {
         let cfg = self.dataset.rmat_kind(self.num_nodes, draws);
         let graph = rmat::generate(&cfg, seed ^ (self.dataset as u64) << 32);
         let features = FeatureStore::virtual_store(self.num_nodes, self.feature_dim);
-        let split = NodeSplit::stratified(
-            self.num_nodes,
-            self.train_fraction,
-            0.1,
-            seed ^ 0xBEEF,
-        );
+        let split = NodeSplit::stratified(self.num_nodes, self.train_fraction, 0.1, seed ^ 0xBEEF);
         DatasetBundle {
             spec: *self,
             graph,
@@ -274,7 +269,9 @@ mod tests {
     fn scaling_preserves_average_degree() {
         let spec = Dataset::Products.spec();
         let scaled = spec.scaled(1.0 / 128.0);
-        assert!((scaled.average_degree() - spec.average_degree()).abs() / spec.average_degree() < 0.01);
+        assert!(
+            (scaled.average_degree() - spec.average_degree()).abs() / spec.average_degree() < 0.01
+        );
         assert_eq!(scaled.feature_dim, spec.feature_dim);
     }
 
@@ -307,7 +304,7 @@ mod tests {
     fn scaled_batch_size_reasonable() {
         let spec = Dataset::Papers100M.spec().scaled(1.0 / 256.0);
         let b = spec.scaled_batch_size(8000);
-        assert!(b >= 64 && b <= 8000, "batch {b}");
+        assert!((64..=8000).contains(&b), "batch {b}");
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl FeatureStore {
     pub fn materialized(data: Vec<f32>, dim: usize) -> Self {
         assert!(dim > 0, "feature dim must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "feature buffer length {} not a multiple of dim {}",
             data.len(),
             dim

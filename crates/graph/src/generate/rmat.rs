@@ -91,9 +91,7 @@ impl RmatConfig {
 /// Panics if `config.validate()` fails; validate first when handling
 /// untrusted configuration.
 pub fn generate(config: &RmatConfig, seed: u64) -> Csr {
-    config
-        .validate()
-        .expect("invalid R-MAT configuration");
+    config.validate().expect("invalid R-MAT configuration");
     let mut rng = DeterministicRng::seed(seed ^ 0x9E02_17F6_D23B_55A1);
     let levels = 64 - (config.num_nodes.max(2) - 1).leading_zeros();
     let mut builder = GraphBuilder::new(config.num_nodes).symmetric(config.symmetric);

@@ -4,8 +4,8 @@
 //! synthetic generators) and lets expensive generated stand-ins be cached
 //! on disk between runs.
 
-use crate::csr::{Csr, CsrError};
 use crate::builder::GraphBuilder;
+use crate::csr::{Csr, CsrError};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 

@@ -100,7 +100,11 @@ pub fn degree_histogram(graph: &Csr) -> Vec<u64> {
     let mut buckets: Vec<u64> = Vec::new();
     for u in graph.nodes() {
         let d = graph.degree(u);
-        let bucket = if d <= 1 { 0 } else { 63 - d.leading_zeros() as usize };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            63 - d.leading_zeros() as usize
+        };
         if buckets.len() <= bucket {
             buckets.resize(bucket + 1, 0);
         }
@@ -157,7 +161,11 @@ mod tests {
         assert_eq!(s.max, 99);
         assert_eq!(s.median, 0);
         assert!((s.isolated_fraction - 0.99).abs() < 1e-12);
-        assert!(s.gini > 0.95, "star should be maximally unequal: {}", s.gini);
+        assert!(
+            s.gini > 0.95,
+            "star should be maximally unequal: {}",
+            s.gini
+        );
         assert!((s.top1pct_edge_share - 1.0).abs() < 1e-12);
     }
 

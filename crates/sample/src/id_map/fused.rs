@@ -88,15 +88,16 @@ impl FusedIdMap {
 
         let threads = self.threads.max(1).min(ids.len().max(1));
         let chunk = ids.len().div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for worker in 0..threads {
                 let keys = &keys;
                 let values = &values;
                 let local_counter = &local_counter;
                 let probes = &probes;
                 let conflicts = &conflicts;
-                let slice = &ids[(worker * chunk).min(ids.len())..((worker + 1) * chunk).min(ids.len())];
-                scope.spawn(move |_| {
+                let slice =
+                    &ids[(worker * chunk).min(ids.len())..((worker + 1) * chunk).min(ids.len())];
+                scope.spawn(move || {
                     let mut my_probes = 0u64;
                     let mut my_conflicts = 0u64;
                     for &id in slice {
@@ -136,8 +137,7 @@ impl FusedIdMap {
                     conflicts.fetch_add(my_conflicts, Ordering::Relaxed);
                 });
             }
-        })
-        .expect("fused-map worker panicked");
+        });
 
         let unique_count = local_counter.load(Ordering::Acquire) as usize;
         let mut unique = vec![0u64; unique_count];
@@ -278,7 +278,11 @@ mod tests {
     #[test]
     fn parallel_produces_valid_bijection() {
         let ids: Vec<u64> = (0..50_000).map(|i| (i * 2654435761) % 9973).collect();
-        let out = FusedIdMap { threads: 8, ..FusedIdMap::new() }.map_parallel(&ids);
+        let out = FusedIdMap {
+            threads: 8,
+            ..FusedIdMap::new()
+        }
+        .map_parallel(&ids);
         out.verify(&ids).unwrap();
         assert_eq!(out.stats.unique_ids, 9973);
     }
@@ -287,7 +291,11 @@ mod tests {
     fn parallel_and_sequential_agree_on_unique_set() {
         let ids: Vec<u64> = (0..10_000).map(|i| (i * 31) % 1234).collect();
         let seq = FusedIdMap::new().map(&ids);
-        let par = FusedIdMap { threads: 6, ..FusedIdMap::new() }.map_parallel(&ids);
+        let par = FusedIdMap {
+            threads: 6,
+            ..FusedIdMap::new()
+        }
+        .map_parallel(&ids);
         let a: HashSet<u64> = seq.unique.iter().copied().collect();
         let b: HashSet<u64> = par.unique.iter().copied().collect();
         assert_eq!(a, b);
@@ -309,7 +317,11 @@ mod tests {
         let out = FusedIdMap::new().map(&[42]);
         assert_eq!(out.unique, vec![42]);
         assert_eq!(out.locals, vec![0]);
-        let out = FusedIdMap { threads: 3, ..FusedIdMap::new() }.map_parallel(&[42]);
+        let out = FusedIdMap {
+            threads: 3,
+            ..FusedIdMap::new()
+        }
+        .map_parallel(&[42]);
         out.verify(&[42]).unwrap();
     }
 
@@ -356,7 +368,11 @@ mod tests {
     fn parallel_single_thread_matches_sequential_numbering() {
         let ids: Vec<u64> = (0..1000).map(|i| (i * 13) % 321).collect();
         let seq = FusedIdMap::new().map(&ids);
-        let par = FusedIdMap { threads: 1, ..FusedIdMap::new() }.map_parallel(&ids);
+        let par = FusedIdMap {
+            threads: 1,
+            ..FusedIdMap::new()
+        }
+        .map_parallel(&ids);
         assert_eq!(seq.unique, par.unique);
         assert_eq!(seq.locals, par.locals);
     }

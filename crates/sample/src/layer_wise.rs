@@ -68,39 +68,54 @@ impl LayerWiseSampler {
                 }
             }
             // Weighted sampling without replacement (exponential-key top-k).
-            // Candidates are keyed in sorted-ID order so the RNG stream is
-            // deterministic (HashMap iteration order is not).
+            // Every candidate's key comes from an RNG stream derived from
+            // its own node ID (off one draw of the batch RNG), so the keys
+            // do not depend on candidate order or on how the keying is
+            // split across threads — HashMap iteration order and thread
+            // count are both irrelevant to the draw.
+            let layer_rng = DeterministicRng::seed(rng.next());
             let mut candidates: Vec<(u64, u32)> = weight.iter().map(|(&v, &w)| (v, w)).collect();
             candidates.sort_unstable();
-            let mut keyed: Vec<(f64, u64)> = candidates
-                .into_iter()
-                .map(|(v, w)| {
-                    let u = rng.unit_f64().max(1e-300);
+            let mut keyed: Vec<(f64, u64)> = fastgl_tensor::parallel::par_map_collect(
+                &candidates,
+                fastgl_tensor::parallel::SAMPLE_GRAIN_SEEDS,
+                |_, &(v, w)| {
+                    let u = layer_rng.derive(v).unit_f64().max(1e-300);
                     (-u.ln() / w as f64, v)
-                })
-                .collect();
-            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("keys are finite"));
+                },
+            );
+            keyed.sort_by(|a, b| a.partial_cmp(b).expect("keys are finite"));
             // Deterministic order within the draw: sort selected IDs.
             let mut layer: Vec<u64> = keyed.iter().take(budget).map(|&(_, v)| v).collect();
             layer.sort_unstable();
             let selected: HashMap<u64, ()> = layer.iter().map(|&v| (v, ())).collect();
 
-            // Keep the frontier→layer edges that exist in the graph.
+            // Keep the frontier→layer edges that exist in the graph. Each
+            // frontier node's scan is independent, so the filter runs in
+            // parallel and the per-node results concatenate in frontier
+            // order (identical to the serial scan).
+            let per_node: Vec<(Vec<u64>, u64)> = fastgl_tensor::parallel::par_map_collect(
+                &frontier,
+                fastgl_tensor::parallel::SAMPLE_GRAIN_SEEDS,
+                |_, &g| {
+                    let mut kept: Vec<u64> = graph
+                        .neighbors(NodeId(g))
+                        .iter()
+                        .copied()
+                        .filter(|v| selected.contains_key(v))
+                        .collect();
+                    let raw = kept.len() as u64;
+                    kept.sort_unstable();
+                    kept.dedup();
+                    (kept, raw)
+                },
+            );
             let mut kept_flat: Vec<u64> = Vec::new();
             let mut counts: Vec<u64> = Vec::with_capacity(num_dst);
-            for &g in &frontier {
-                let before = kept_flat.len();
-                for &v in graph.neighbors(NodeId(g)) {
-                    if selected.contains_key(&v) {
-                        kept_flat.push(v);
-                        stats.edges_sampled += 1;
-                    }
-                }
-                let mut slice = kept_flat.split_off(before);
-                slice.sort_unstable();
-                slice.dedup();
-                counts.push(slice.len() as u64);
-                kept_flat.extend(slice);
+            for (kept, raw) in per_node {
+                stats.edges_sampled += raw;
+                counts.push(kept.len() as u64);
+                kept_flat.extend(kept);
             }
 
             // ID map over [frontier ‖ kept]: prefix-stable locals.
@@ -197,12 +212,8 @@ mod tests {
     fn kept_edges_exist_in_graph() {
         let g = graph();
         let mut rng = DeterministicRng::seed(3);
-        let (sg, _) = LayerWiseSampler::new(vec![80]).sample(
-            &g,
-            &seeds(16),
-            &FusedIdMap::new(),
-            &mut rng,
-        );
+        let (sg, _) =
+            LayerWiseSampler::new(vec![80]).sample(&g, &seeds(16), &FusedIdMap::new(), &mut rng);
         let block = &sg.blocks[0];
         for (i, &dst) in block.dst_locals.iter().enumerate() {
             let dst_global = sg.nodes[dst as usize];
@@ -236,12 +247,8 @@ mod tests {
             .add_edge(0, 2)
             .build();
         let mut rng = DeterministicRng::seed(5);
-        let (sg, _) = LayerWiseSampler::new(vec![100]).sample(
-            &g,
-            &[NodeId(0)],
-            &FusedIdMap::new(),
-            &mut rng,
-        );
+        let (sg, _) =
+            LayerWiseSampler::new(vec![100]).sample(&g, &[NodeId(0)], &FusedIdMap::new(), &mut rng);
         sg.validate().unwrap();
         // Self + both neighbours.
         assert_eq!(sg.blocks[0].sources_of(0).len(), 3);

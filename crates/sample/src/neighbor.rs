@@ -95,29 +95,43 @@ impl NeighborSampler {
         let mut frontier: Vec<u64> = seeds.iter().map(|n| n.0).collect();
         let mut hop_blocks: Vec<Block> = Vec::with_capacity(self.fanouts.len());
 
-        for &fanout in &self.fanouts {
+        for (hop, &fanout) in self.fanouts.iter().enumerate() {
             let num_dst = frontier.len();
-            // Draw neighbours for every frontier node.
+            // Draw neighbours for every frontier node, in parallel. Each
+            // frontier position gets its own RNG stream derived from one
+            // draw of the batch RNG, so (a) the draws are independent of
+            // how positions are split across threads, and (b) consecutive
+            // mini-batches still see different streams because the parent
+            // RNG advances once per hop.
+            let hop_rng = DeterministicRng::seed(rng.next().wrapping_add(hop as u64));
+            let per_node: Vec<(Vec<u64>, u64)> = fastgl_tensor::parallel::par_map_collect(
+                &frontier,
+                fastgl_tensor::parallel::SAMPLE_GRAIN_SEEDS,
+                |f_idx, &g| {
+                    let node = NodeId(g);
+                    assert!(g < graph.num_nodes(), "seed/frontier node {g} out of range");
+                    let neighbors = graph.neighbors(node);
+                    let deg = neighbors.len();
+                    let take = deg.min(fanout);
+                    let sampled = if deg <= fanout {
+                        neighbors.to_vec()
+                    } else {
+                        let mut node_rng = hop_rng.derive(f_idx as u64);
+                        node_rng
+                            .sample_distinct(deg as u64, take)
+                            .into_iter()
+                            .map(|idx| neighbors[idx as usize])
+                            .collect()
+                    };
+                    (sampled, take as u64)
+                },
+            );
             let mut sampled_flat: Vec<u64> = Vec::with_capacity(num_dst * fanout);
             let mut counts: Vec<u64> = Vec::with_capacity(num_dst);
-            for &g in &frontier {
-                let node = NodeId(g);
-                assert!(
-                    g < graph.num_nodes(),
-                    "seed/frontier node {g} out of range"
-                );
-                let neighbors = graph.neighbors(node);
-                let deg = neighbors.len();
-                let take = deg.min(fanout);
-                if deg <= fanout {
-                    sampled_flat.extend_from_slice(neighbors);
-                } else {
-                    for idx in rng.sample_distinct(deg as u64, take) {
-                        sampled_flat.push(neighbors[idx as usize]);
-                    }
-                }
-                counts.push(take as u64);
-                stats.edges_sampled += take as u64;
+            for (sampled, take) in per_node {
+                sampled_flat.extend_from_slice(&sampled);
+                counts.push(take);
+                stats.edges_sampled += take;
             }
 
             // ID map over [frontier ‖ sampled]: the unique list's prefix is
@@ -282,8 +296,7 @@ mod tests {
         let g = Csr::empty(10);
         let sampler = NeighborSampler::new(vec![5]);
         let mut rng = DeterministicRng::seed(2);
-        let (sg, stats) =
-            sampler.sample(&g, &[NodeId(3)], &FusedIdMap::new(), &mut rng);
+        let (sg, stats) = sampler.sample(&g, &[NodeId(3)], &FusedIdMap::new(), &mut rng);
         sg.validate().unwrap();
         assert_eq!(stats.edges_sampled, 0);
         assert_eq!(sg.blocks[0].sources_of(0), &[0]);
@@ -300,11 +313,7 @@ mod tests {
     fn out_of_range_seed_panics() {
         let g = Csr::empty(5);
         let mut rng = DeterministicRng::seed(0);
-        let _ = NeighborSampler::new(vec![2]).sample(
-            &g,
-            &[NodeId(99)],
-            &FusedIdMap::new(),
-            &mut rng,
-        );
+        let _ =
+            NeighborSampler::new(vec![2]).sample(&g, &[NodeId(99)], &FusedIdMap::new(), &mut rng);
     }
 }

@@ -155,10 +155,10 @@ mod tests {
     fn matrix_is_symmetric_zero_diagonal() {
         let sets = vec![ids(&[1, 2, 3]), ids(&[2, 3, 4]), ids(&[9, 10])];
         let m = match_degree_matrix(&sets);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..3 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
             }
         }
         assert!((m[0][1] - 2.0 / 3.0).abs() < 1e-12);

@@ -127,12 +127,8 @@ mod tests {
     fn produces_valid_single_block_subgraph() {
         let g = graph();
         let mut rng = DeterministicRng::seed(1);
-        let (sg, stats) = RandomWalkSampler::paper_default().sample(
-            &g,
-            &seeds(32),
-            &FusedIdMap::new(),
-            &mut rng,
-        );
+        let (sg, stats) =
+            RandomWalkSampler::paper_default().sample(&g, &seeds(32), &FusedIdMap::new(), &mut rng);
         sg.validate().unwrap();
         assert_eq!(sg.blocks.len(), 1);
         assert!(stats.edges_sampled > 0);
@@ -184,12 +180,8 @@ mod tests {
     fn no_duplicate_sources_per_seed() {
         let g = graph();
         let mut rng = DeterministicRng::seed(5);
-        let (sg, _) = RandomWalkSampler::paper_default().sample(
-            &g,
-            &seeds(32),
-            &FusedIdMap::new(),
-            &mut rng,
-        );
+        let (sg, _) =
+            RandomWalkSampler::paper_default().sample(&g, &seeds(32), &FusedIdMap::new(), &mut rng);
         let block = &sg.blocks[0];
         for i in 0..block.num_dst() {
             let mut srcs = block.sources_of(i).to_vec();

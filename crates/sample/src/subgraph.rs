@@ -67,7 +67,12 @@ impl Block {
         if *self.src_offsets.last().expect("non-empty") != self.src_locals.len() as u64 {
             return Err("last offset must equal number of sources".into());
         }
-        if let Some(&bad) = self.dst_locals.iter().chain(&self.src_locals).find(|&&x| x >= num_nodes) {
+        if let Some(&bad) = self
+            .dst_locals
+            .iter()
+            .chain(&self.src_locals)
+            .find(|&&x| x >= num_nodes)
+        {
             return Err(format!("local id {bad} out of range ({num_nodes} nodes)"));
         }
         Ok(())
@@ -114,9 +119,8 @@ impl SampledSubgraph {
     pub fn topology_bytes(&self) -> u64 {
         let mut words = self.nodes.len() as u64 + self.seed_locals.len() as u64;
         for b in &self.blocks {
-            words += b.dst_locals.len() as u64
-                + b.src_offsets.len() as u64
-                + b.src_locals.len() as u64;
+            words +=
+                b.dst_locals.len() as u64 + b.src_offsets.len() as u64 + b.src_locals.len() as u64;
         }
         words * 8
     }

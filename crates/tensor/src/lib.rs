@@ -11,6 +11,8 @@
 //! * [`loss`] — softmax cross-entropy with gradient, and accuracy.
 //! * [`optim`] — SGD (with momentum) and Adam.
 //! * [`init`] — Xavier/Glorot initialisation over a deterministic RNG.
+//! * [`parallel`] — the workspace-wide deterministic fork-join execution
+//!   backend (`FASTGL_THREADS` knob, serial cutoffs).
 //!
 //! The sparse half (aggregation over subgraph edges) lives in `fastgl-gnn`,
 //! where it follows the graph structure.
@@ -22,6 +24,7 @@ pub mod loss;
 pub mod matrix;
 pub mod ops;
 pub mod optim;
+pub mod parallel;
 
 pub use matrix::Matrix;
 pub use optim::{Adam, ClipNorm, Optimizer, Sgd, StepDecay};

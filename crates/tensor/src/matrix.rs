@@ -1,7 +1,27 @@
 //! Row-major dense `f32` matrices.
+//!
+//! The compute kernels (`matmul` and its transposed variants, the
+//! elementwise ops) run on the workspace's deterministic fork-join backend
+//! ([`crate::parallel`]): output rows are partitioned into contiguous
+//! chunks, each chunk is computed with the exact serial loop, and every
+//! per-element reduction keeps its fixed k-ascending accumulation order —
+//! so results are bit-identical at any thread count, and inputs below the
+//! per-kernel cutoffs never leave the calling thread.
 
+use crate::parallel;
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Output-column stripe width of the matmul inner kernel. A 128-element
+/// stripe of the output row plus the matching stripe of one `rhs` row is
+/// 1 KiB — both stay L1-resident while the k loop streams over `rhs` rows.
+const MATMUL_J_BLOCK: usize = 128;
+
+/// Rows of output each matmul worker claims at minimum, sized so a chunk
+/// amortises spawn/join over [`parallel::MATMUL_GRAIN_FLOPS`] multiply-adds.
+fn matmul_grain_rows(flops_per_row: usize) -> usize {
+    (parallel::MATMUL_GRAIN_FLOPS / flops_per_row.max(1)).max(1)
+}
 
 /// A dense row-major `f32` matrix.
 ///
@@ -74,7 +94,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -85,7 +108,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -114,7 +140,10 @@ impl Matrix {
     }
 
     /// Matrix product `self · rhs` using an ikj loop order (streams rows of
-    /// `rhs`, cache-friendly for row-major data).
+    /// `rhs`, cache-friendly for row-major data), parallelised over
+    /// contiguous output-row chunks with the j loop blocked to L1-sized
+    /// stripes. Every output element accumulates in k-ascending order, so
+    /// the result is bit-identical at any thread count.
     ///
     /// # Panics
     ///
@@ -125,25 +154,44 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let n = rhs.cols;
+        let mut out = Matrix::zeros(self.rows, n);
+        if n == 0 {
+            return out;
+        }
+        let grain = matmul_grain_rows(self.cols * n);
+        parallel::par_row_chunks_mut(&mut out.data, n, grain, |first_row, chunk| {
+            for (di, out_row) in chunk.chunks_mut(n).enumerate() {
+                let a_row = self.row(first_row + di);
+                let mut j0 = 0;
+                while j0 < n {
+                    let j1 = (j0 + MATMUL_J_BLOCK).min(n);
+                    let out_stripe = &mut out_row[j0..j1];
+                    for (k, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_stripe = &rhs.row(k)[j0..j1];
+                        for (o, &b) in out_stripe.iter_mut().zip(b_stripe) {
+                            *o += a * b;
+                        }
+                    }
+                    j0 = j1;
                 }
             }
-        }
+        });
         out
     }
 
     /// `selfᵀ · rhs`, without materialising the transpose (backward pass
     /// weight gradient: `dW = Xᵀ · dY`).
+    ///
+    /// Parallelised over contiguous chunks of *output* rows (= columns `k`
+    /// of `self`): each worker owns a disjoint `k` range and scans all rows
+    /// `i` of the inputs in ascending order, so every output element keeps
+    /// the serial i-ascending accumulation order with no write conflicts.
+    /// The tradeoff is that each worker re-reads the inputs, which is cheap
+    /// relative to the multiply-adds it owns.
     ///
     /// # Panics
     ///
@@ -154,20 +202,28 @@ impl Matrix {
             "matmul_transpose_a dimension mismatch: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let b_row = rhs.row(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let n = rhs.cols;
+        let mut out = Matrix::zeros(self.cols, n);
+        if n == 0 {
+            return out;
+        }
+        let grain = matmul_grain_rows(self.rows * n);
+        parallel::par_row_chunks_mut(&mut out.data, n, grain, |first_k, chunk| {
+            let k_range = first_k..first_k + chunk.len() / n;
+            for i in 0..self.rows {
+                let a_row = &self.row(i)[k_range.clone()];
+                let b_row = rhs.row(i);
+                for (dk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut chunk[dk * n..(dk + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -183,18 +239,25 @@ impl Matrix {
             "matmul_transpose_b dimension mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
+        let n = rhs.rows;
+        let mut out = Matrix::zeros(self.rows, n);
+        if n == 0 {
+            return out;
         }
+        let grain = matmul_grain_rows(self.cols.max(1) * n);
+        parallel::par_row_chunks_mut(&mut out.data, n, grain, |first_row, chunk| {
+            for (di, out_row) in chunk.chunks_mut(n).enumerate() {
+                let a_row = self.row(first_row + di);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = rhs.row(j);
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
         out
     }
 
@@ -209,20 +272,32 @@ impl Matrix {
         out
     }
 
-    /// Applies `f` elementwise, returning a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+    /// Applies `f` elementwise, returning a new matrix. Runs in parallel
+    /// chunks above the elementwise cutoff (each element is independent, so
+    /// any partition is bit-identical to the serial pass).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        parallel::par_row_chunks_mut(
+            &mut out.data,
+            1,
+            parallel::ELEMWISE_GRAIN,
+            |first, chunk| {
+                let src = &self.data[first..first + chunk.len()];
+                for (o, &x) in chunk.iter_mut().zip(src) {
+                    *o = f(x);
+                }
+            },
+        );
+        out
     }
 
     /// Multiplies every element in place.
     pub fn scale(&mut self, s: f32) {
-        for x in &mut self.data {
-            *x *= s;
-        }
+        parallel::par_row_chunks_mut(&mut self.data, 1, parallel::ELEMWISE_GRAIN, |_, chunk| {
+            for x in chunk {
+                *x *= s;
+            }
+        });
     }
 
     /// Adds `rhs` scaled by `alpha` in place (`self += alpha * rhs`).
@@ -236,9 +311,17 @@ impl Matrix {
             (rhs.rows, rhs.cols),
             "axpy shape mismatch"
         );
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += alpha * b;
-        }
+        parallel::par_row_chunks_mut(
+            &mut self.data,
+            1,
+            parallel::ELEMWISE_GRAIN,
+            |first, chunk| {
+                let src = &rhs.data[first..first + chunk.len()];
+                for (a, &b) in chunk.iter_mut().zip(src) {
+                    *a += alpha * b;
+                }
+            },
+        );
     }
 
     /// Frobenius norm.
@@ -257,16 +340,20 @@ impl Matrix {
             (rhs.rows, rhs.cols),
             "hadamard shape mismatch"
         );
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| a * b)
-                .collect(),
-        }
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        parallel::par_row_chunks_mut(
+            &mut out.data,
+            1,
+            parallel::ELEMWISE_GRAIN,
+            |first, chunk| {
+                let a = &self.data[first..first + chunk.len()];
+                let b = &rhs.data[first..first + chunk.len()];
+                for ((o, &x), &y) in chunk.iter_mut().zip(a).zip(b) {
+                    *o = x * y;
+                }
+            },
+        );
+        out
     }
 
     /// Selects rows by index into a new matrix (feature gather).
@@ -275,11 +362,42 @@ impl Matrix {
     ///
     /// Panics if any index is out of bounds.
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < self.rows, "row index {idx} out of bounds");
-            out.row_mut(i).copy_from_slice(self.row(idx));
+        Self::gather_flat(&self.data, self.cols, self.rows, indices)
+    }
+
+    /// Gathers rows out of a flat row-major feature buffer of `dim`-wide
+    /// rows (the mini-batch feature load: `out[i] = src[indices[i]]`).
+    /// Row copies are independent, so the gather parallelises over
+    /// contiguous output-row chunks with no ordering concerns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() < num_rows * dim` or any index is `>= num_rows`.
+    pub fn gather_flat(src: &[f32], dim: usize, num_rows: usize, indices: &[usize]) -> Matrix {
+        assert!(
+            src.len() >= num_rows * dim,
+            "flat buffer of {} elements is smaller than {num_rows} rows of {dim}",
+            src.len()
+        );
+        let mut out = Matrix::zeros(indices.len(), dim);
+        if dim == 0 {
+            for &idx in indices {
+                assert!(idx < num_rows, "row index {idx} out of bounds");
+            }
+            return out;
         }
+        parallel::par_row_chunks_mut(
+            &mut out.data,
+            dim,
+            parallel::GATHER_GRAIN_ROWS,
+            |first_row, chunk| {
+                for (i, row) in chunk.chunks_mut(dim).enumerate() {
+                    let idx = indices[first_row + i];
+                    assert!(idx < num_rows, "row index {idx} out of bounds");
+                    row.copy_from_slice(&src[idx * dim..(idx + 1) * dim]);
+                }
+            },
+        );
         out
     }
 }
@@ -449,5 +567,110 @@ mod tests {
     #[should_panic(expected = "cannot form")]
     fn from_vec_validates_length() {
         let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn gather_flat_matches_gather_rows() {
+        let a = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32).collect());
+        let idx = [3, 1, 1, 0];
+        let g1 = a.gather_rows(&idx);
+        let g2 = Matrix::gather_flat(a.as_slice(), 3, 4, &idx);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_flat_bounds_checked() {
+        let src = vec![0.0f32; 6];
+        let _ = Matrix::gather_flat(&src, 3, 2, &[2]);
+    }
+
+    /// Pseudo-random but deterministic fill that exercises the zero-skip.
+    fn fill(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let data = (0..rows * cols)
+            .map(|i| {
+                let mut x = i as u64 ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                x ^= x >> 31;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                if x.is_multiple_of(7) {
+                    0.0
+                } else {
+                    ((x >> 40) as f32 / 8_388_608.0) - 1.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn kernels_bit_identical_across_thread_counts() {
+        use crate::parallel::test_util::with_threads;
+        // Sizes above every grain so the parallel path actually engages.
+        let a = fill(97, 193, 1);
+        let b = fill(193, 131, 2);
+        let c = fill(97, 131, 3);
+        let idx: Vec<usize> = (0..500).map(|i| (i * 37) % 97).collect();
+        let baseline = with_threads(1, || {
+            (
+                a.matmul(&b),
+                a.matmul_transpose_a(&c),
+                c.matmul_transpose_b(&b),
+                a.map(|x| x.max(0.0)),
+                a.hadamard(&a),
+                a.gather_rows(&idx),
+            )
+        });
+        for threads in [2usize, 3, 8] {
+            let got = with_threads(threads, || {
+                (
+                    a.matmul(&b),
+                    a.matmul_transpose_a(&c),
+                    c.matmul_transpose_b(&b),
+                    a.map(|x| x.max(0.0)),
+                    a.hadamard(&a),
+                    a.gather_rows(&idx),
+                )
+            });
+            assert_eq!(
+                got.0.as_slice(),
+                baseline.0.as_slice(),
+                "matmul t={threads}"
+            );
+            assert_eq!(got.1.as_slice(), baseline.1.as_slice(), "t_a t={threads}");
+            assert_eq!(got.2.as_slice(), baseline.2.as_slice(), "t_b t={threads}");
+            assert_eq!(got.3.as_slice(), baseline.3.as_slice(), "map t={threads}");
+            assert_eq!(
+                got.4.as_slice(),
+                baseline.4.as_slice(),
+                "hadamard t={threads}"
+            );
+            assert_eq!(
+                got.5.as_slice(),
+                baseline.5.as_slice(),
+                "gather t={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn inplace_kernels_bit_identical_across_thread_counts() {
+        use crate::parallel::test_util::with_threads;
+        let base = fill(211, 97, 4);
+        let delta = fill(211, 97, 5);
+        let baseline = with_threads(1, || {
+            let mut m = base.clone();
+            m.scale(0.37);
+            m.axpy(-1.25, &delta);
+            m
+        });
+        for threads in [2usize, 8] {
+            let got = with_threads(threads, || {
+                let mut m = base.clone();
+                m.scale(0.37);
+                m.axpy(-1.25, &delta);
+                m
+            });
+            assert_eq!(got.as_slice(), baseline.as_slice(), "t={threads}");
+        }
     }
 }

@@ -113,10 +113,7 @@ mod tests {
         let x = Matrix::from_vec(1, 2, vec![-10.0, 10.0]);
         assert_eq!(leaky_relu(&x, 0.2).as_slice(), &[-2.0, 10.0]);
         let g = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
-        assert_eq!(
-            leaky_relu_backward(&x, &g, 0.2).as_slice(),
-            &[0.2, 1.0]
-        );
+        assert_eq!(leaky_relu_backward(&x, &g, 0.2).as_slice(), &[0.2, 1.0]);
     }
 
     #[test]

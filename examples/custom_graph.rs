@@ -41,8 +41,7 @@ fn main() {
         .filter_map(|t| t.parse::<u64>().ok())
         .max()
         .expect("edge list contains no edges");
-    let graph = io::read_edge_list(content.as_bytes(), max_id + 1, true)
-        .expect("parse edge list");
+    let graph = io::read_edge_list(content.as_bytes(), max_id + 1, true).expect("parse edge list");
 
     let stats = DegreeStats::compute(&graph);
     println!(
@@ -72,7 +71,10 @@ fn main() {
     let cfg = FastGlConfig::default()
         .with_batch_size(128)
         .with_fanouts(vec![5, 10]);
-    println!("\n{:>12} {:>12} {:>10} {:>10} {:>10}", "system", "epoch", "sample", "io", "compute");
+    println!(
+        "\n{:>12} {:>12} {:>10} {:>10} {:>10}",
+        "system", "epoch", "sample", "io", "compute"
+    );
     for kind in [SystemKind::Dgl, SystemKind::GnnLab, SystemKind::FastGl] {
         let mut sys = kind.build(cfg.clone());
         let s = sys.run_epochs(&bundle, 3);

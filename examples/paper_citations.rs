@@ -37,13 +37,20 @@ fn main() {
         data.graph.num_edges(),
     );
     let base = FastGlConfig::default().with_batch_size(128);
-    println!("{:>12} {:>14} {:>14}", "cache ratio", "GNNLab IO", "FastGL IO");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "cache ratio", "GNNLab IO", "FastGL IO"
+    );
     for ratio in [0.0, 0.2, 0.4, 0.6, 0.8] {
         let mut lab = GnnLabSystem::with_cache_ratio(base.clone(), ratio);
         let mut fast = FastGl::new(base.clone().with_cache_ratio(ratio));
         let io_lab = lab.run_epochs(&data, 2).breakdown.io;
         let io_fast = fast.run_epochs(&data, 2).breakdown.io;
-        println!("{ratio:>12.1} {:>14} {:>14}", io_lab.to_string(), io_fast.to_string());
+        println!(
+            "{ratio:>12.1} {:>14} {:>14}",
+            io_lab.to_string(),
+            io_fast.to_string()
+        );
     }
     println!(
         "\npaper shape (Fig. 10a): with little cache (left rows) FastGL's \

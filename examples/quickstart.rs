@@ -55,7 +55,10 @@ fn main() {
         .build(config.clone())
         .run_epochs(&data, 3)
         .total();
-    let fast = SystemKind::FastGl.build(config).run_epochs(&data, 3).total();
+    let fast = SystemKind::FastGl
+        .build(config)
+        .run_epochs(&data, 3)
+        .total();
     println!(
         "\nFastGL speedup over DGL: {:.2}x (paper average: 2.2x)",
         dgl.as_secs_f64() / fast.as_secs_f64()

@@ -45,11 +45,28 @@ fn main() {
         window: 4,
         seed: 11,
     };
-    let dgl = train(&data.graph, &data.features, &data.labels, &train_nodes, &config(false));
-    let fastgl = train(&data.graph, &data.features, &data.labels, &train_nodes, &config(true));
+    let dgl = train(
+        &data.graph,
+        &data.features,
+        &data.labels,
+        &train_nodes,
+        &config(false),
+    );
+    let fastgl = train(
+        &data.graph,
+        &data.features,
+        &data.labels,
+        &train_nodes,
+        &config(true),
+    );
 
     println!("\n{:>6} {:>12} {:>12}", "epoch", "DGL loss", "FastGL loss");
-    for (e, (a, b)) in dgl.epoch_losses.iter().zip(&fastgl.epoch_losses).enumerate() {
+    for (e, (a, b)) in dgl
+        .epoch_losses
+        .iter()
+        .zip(&fastgl.epoch_losses)
+        .enumerate()
+    {
         println!("{e:>6} {a:>12.4} {b:>12.4}");
     }
     println!(

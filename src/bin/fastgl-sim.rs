@@ -99,22 +99,30 @@ fn parse_args() -> Result<(Dataset, SystemKind, FastGlConfig, f64, u64), String>
             }
             "--batch" => {
                 config = config.with_batch_size(
-                    value(&mut i)?.parse().map_err(|e| format!("bad --batch: {e}"))?,
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --batch: {e}"))?,
                 );
             }
             "--gpus" => {
                 config = config.with_gpus(
-                    value(&mut i)?.parse().map_err(|e| format!("bad --gpus: {e}"))?,
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --gpus: {e}"))?,
                 );
             }
             "--scale" => {
-                scale = value(&mut i)?.parse().map_err(|e| format!("bad --scale: {e}"))?;
+                scale = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
                 if scale < 1.0 {
                     return Err("--scale must be at least 1".into());
                 }
             }
             "--epochs" => {
-                epochs = value(&mut i)?.parse().map_err(|e| format!("bad --epochs: {e}"))?;
+                epochs = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --epochs: {e}"))?;
             }
             "--fanouts" => {
                 let fanouts: Result<Vec<usize>, _> =
@@ -130,7 +138,9 @@ fn parse_args() -> Result<(Dataset, SystemKind, FastGlConfig, f64, u64), String>
             }
             "--seed" => {
                 config = config.with_seed(
-                    value(&mut i)?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
                 );
             }
             other => return Err(format!("unknown option '{other}' (try --help)")),
@@ -172,9 +182,17 @@ fn main() -> ExitCode {
     let (s, i, c) = stats.breakdown.fractions();
     println!("system        : {}", sys.name());
     println!("epoch time    : {}", stats.total());
-    println!("  sample      : {} ({:.1}%)", stats.breakdown.sample, s * 100.0);
+    println!(
+        "  sample      : {} ({:.1}%)",
+        stats.breakdown.sample,
+        s * 100.0
+    );
     println!("  memory IO   : {} ({:.1}%)", stats.breakdown.io, i * 100.0);
-    println!("  compute     : {} ({:.1}%)", stats.breakdown.compute, c * 100.0);
+    println!(
+        "  compute     : {} ({:.1}%)",
+        stats.breakdown.compute,
+        c * 100.0
+    );
     println!("iterations    : {}", stats.iterations);
     println!("rows loaded   : {}", stats.rows_loaded);
     println!("rows reused   : {}", stats.rows_reused);

@@ -40,7 +40,13 @@ fn gcn_and_gin_learn_community_labels() {
     let d = data();
     let nodes: Vec<NodeId> = (0..700).map(NodeId).collect();
     for model in [ModelKind::Gcn, ModelKind::Gin] {
-        let run = train(&d.graph, &d.features, &d.labels, &nodes, &config(model, false));
+        let run = train(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &nodes,
+            &config(model, false),
+        );
         let first = run.epoch_losses[0];
         let last = *run.epoch_losses.last().unwrap();
         assert!(last < first * 0.75, "{model}: {first} -> {last}");
@@ -57,8 +63,20 @@ fn reordering_matches_default_convergence() {
     let d = data();
     let nodes: Vec<NodeId> = (0..700).map(NodeId).collect();
     for model in [ModelKind::Gcn, ModelKind::Gin] {
-        let base = train(&d.graph, &d.features, &d.labels, &nodes, &config(model, false));
-        let reordered = train(&d.graph, &d.features, &d.labels, &nodes, &config(model, true));
+        let base = train(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &nodes,
+            &config(model, false),
+        );
+        let reordered = train(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &nodes,
+            &config(model, true),
+        );
         let a = base.tail_loss(8);
         let b = reordered.tail_loss(8);
         assert!(
@@ -66,7 +84,10 @@ fn reordering_matches_default_convergence() {
             "{model}: converged losses diverge ({a} vs {b})"
         );
         // Both orders see the same number of iterations.
-        assert_eq!(base.iteration_losses.len(), reordered.iteration_losses.len());
+        assert_eq!(
+            base.iteration_losses.len(),
+            reordered.iteration_losses.len()
+        );
     }
 }
 
@@ -74,7 +95,13 @@ fn reordering_matches_default_convergence() {
 fn gat_trains_through_sampled_subgraphs() {
     let d = data();
     let nodes: Vec<NodeId> = (0..500).map(NodeId).collect();
-    let run = train(&d.graph, &d.features, &d.labels, &nodes, &config(ModelKind::Gat, false));
+    let run = train(
+        &d.graph,
+        &d.features,
+        &d.labels,
+        &nodes,
+        &config(ModelKind::Gat, false),
+    );
     let first = run.epoch_losses[0];
     let last = *run.epoch_losses.last().unwrap();
     assert!(last < first, "GAT loss must decrease: {first} -> {last}");

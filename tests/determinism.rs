@@ -83,7 +83,10 @@ fn cheap_experiments_reproduce_their_reports() {
     for (id, runner) in fastgl_bench::experiments::all() {
         // Only the cheap, pure-table experiments; the full suite is
         // exercised by `all_experiments` (still deterministic, just slow).
-        if !matches!(id, "tab03_memory_levels" | "tab04_match_degree" | "abl02_hash_load_factor") {
+        if !matches!(
+            id,
+            "tab03_memory_levels" | "tab04_match_degree" | "abl02_hash_load_factor"
+        ) {
             continue;
         }
         let a = runner(&scale);

@@ -95,10 +95,14 @@ fn hotness_ranking_beats_degree_when_seeds_are_skewed() {
         let (sg, _) = engine.sample_batch(&data.graph, &band, &mut rng);
         counter.record(&sg);
     }
-    let hot_rank = rank_nodes(CacheRankPolicy::PreSampledHotness, &data.graph, Some(&counter));
+    let hot_rank = rank_nodes(
+        CacheRankPolicy::PreSampledHotness,
+        &data.graph,
+        Some(&counter),
+    );
     let deg_rank = rank_nodes(CacheRankPolicy::Degree, &data.graph, None);
 
-    let cache_rows = (data.graph.num_nodes() / 10) as u64;
+    let cache_rows = data.graph.num_nodes() / 10;
     let hot_cache = fastgl::core::FeatureCache::from_ranking(&hot_rank, cache_rows, 4);
     let deg_cache = fastgl::core::FeatureCache::from_ranking(&deg_rank, cache_rows, 4);
 

@@ -81,7 +81,10 @@ fn all_three_models_run_through_every_phase() {
         let mut sys = SystemKind::FastGl.build(config().with_model(model));
         let s = sys.run_epoch(&data, 0);
         assert!(s.breakdown.sample.as_nanos() > 0, "{model}: no sample time");
-        assert!(s.breakdown.compute.as_nanos() > 0, "{model}: no compute time");
+        assert!(
+            s.breakdown.compute.as_nanos() > 0,
+            "{model}: no compute time"
+        );
     }
 }
 

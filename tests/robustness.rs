@@ -4,9 +4,9 @@
 use fastgl::baselines::SystemKind;
 use fastgl::core::{FastGl, FastGlConfig, TrainingSystem};
 use fastgl::graph::datasets::{DatasetBundle, DatasetSpec};
+use fastgl::graph::DeterministicRng;
 use fastgl::graph::{Dataset, FeatureStore, GraphBuilder, NodeSplit};
 use fastgl::sample::{FusedIdMap, NeighborSampler};
-use fastgl::graph::DeterministicRng;
 
 /// Wraps an arbitrary CSR in a runnable dataset bundle.
 fn bundle_from_graph(graph: fastgl::graph::Csr, train_frac: f64) -> DatasetBundle {
