@@ -1,5 +1,7 @@
 //! Runs every experiment of the paper's evaluation section in order,
-//! printing each report and writing all CSVs to `results/`.
+//! printing each report and writing all CSVs/JSON to `results/` (plus
+//! per-experiment telemetry under `results/telemetry/` when
+//! `FASTGL_TELEMETRY=1`).
 //!
 //! Set `FASTGL_QUICK=1` for a fast smoke pass, or pass experiment ids as
 //! arguments to run a subset (e.g. `all_experiments fig09_overall`).
@@ -10,17 +12,17 @@ fn main() {
     let scale = fastgl_bench::BenchScale::from_env();
     let filter: Vec<String> = std::env::args().skip(1).collect();
     let started = Instant::now();
+    // Drop anything recorded before the first experiment (dataset setup,
+    // warmup) so each exported trace holds exactly one experiment's events.
+    fastgl_telemetry::reset();
     for (id, runner) in fastgl_bench::experiments::all() {
         if !filter.is_empty() && !filter.iter().any(|f| f == id) {
             continue;
         }
         let t = Instant::now();
         let report = runner(&scale);
-        print!("{}", report.to_text());
+        fastgl_bench::emit::finish(&report);
         println!("[{} finished in {:.1}s]\n", id, t.elapsed().as_secs_f64());
-        if let Err(e) = report.write_csv(std::path::Path::new("results")) {
-            eprintln!("warning: could not write CSVs for {id}: {e}");
-        }
     }
     println!("all done in {:.1}s", started.elapsed().as_secs_f64());
 }

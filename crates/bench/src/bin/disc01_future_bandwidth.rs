@@ -4,8 +4,5 @@
 fn main() {
     let scale = fastgl_bench::BenchScale::from_env();
     let report = fastgl_bench::experiments::disc01_future_bandwidth::run(&scale);
-    print!("{}", report.to_text());
-    if let Err(e) = report.write_csv(std::path::Path::new("results")) {
-        eprintln!("warning: could not write CSVs: {e}");
-    }
+    fastgl_bench::emit::finish(&report);
 }

@@ -1,11 +1,8 @@
-//! Regenerates the paper artefact `tab07_random_walk` and writes its CSVs to
-//! `results/`. Set `FASTGL_QUICK=1` for a fast smoke run.
+//! Regenerates the paper artefact `tab07_random_walk` and writes its CSV/JSON
+//! artifacts to `results/`. Set `FASTGL_QUICK=1` for a fast smoke run.
 
 fn main() {
     let scale = fastgl_bench::BenchScale::from_env();
     let report = fastgl_bench::experiments::tab07_random_walk::run(&scale);
-    print!("{}", report.to_text());
-    if let Err(e) = report.write_csv(std::path::Path::new("results")) {
-        eprintln!("warning: could not write CSVs: {e}");
-    }
+    fastgl_bench::emit::finish(&report);
 }

@@ -1,0 +1,154 @@
+//! Shared experiment finishing: print the report, persist it as CSV and
+//! JSON under `results/`, and — when telemetry is recording — drain the
+//! run's spans/counters into `results/telemetry/` next to the data they
+//! explain.
+
+use crate::report::{Report, Table};
+use fastgl_telemetry::Snapshot;
+use std::path::Path;
+
+/// Where experiment tables land.
+pub const RESULTS_DIR: &str = "results";
+
+/// Where telemetry artifacts land.
+pub const TELEMETRY_DIR: &str = "results/telemetry";
+
+/// Prints the report and writes `results/<id>_<i>.csv` plus
+/// `results/<id>.json`; then exports this run's telemetry (if enabled)
+/// under `results/telemetry/<id>.{trace,telemetry}.json`. Write failures
+/// warn on stderr rather than aborting the run — the printed report is
+/// the primary artifact.
+pub fn finish(report: &Report) {
+    print!("{}", report.to_text());
+    let results = Path::new(RESULTS_DIR);
+    if let Err(e) = report.write_csv(results) {
+        eprintln!("warning: could not write CSVs for {}: {e}", report.id);
+    }
+    if let Err(e) = report.write_json(results) {
+        eprintln!("warning: could not write JSON for {}: {e}", report.id);
+    }
+    export_telemetry(&report.id);
+}
+
+/// Drains the telemetry buffers and writes the chrome trace + perf JSON
+/// for them, keyed by `stem`. No-op (and no drain) when telemetry is off,
+/// so a multi-experiment runner can call this after every experiment and
+/// each gets exactly its own events.
+pub fn export_telemetry(stem: &str) {
+    if !fastgl_telemetry::enabled() {
+        return;
+    }
+    let snap = fastgl_telemetry::drain();
+    match fastgl_telemetry::export::write_to_dir(&snap, Path::new(TELEMETRY_DIR), stem) {
+        Ok((trace, perf)) => {
+            for t in telemetry_tables(&snap) {
+                print!("{}", t.to_text());
+                println!();
+            }
+            println!(
+                "[telemetry: {} events -> {} + {}]\n",
+                snap.events.len(),
+                trace.display(),
+                perf.display()
+            );
+        }
+        Err(e) => eprintln!("warning: could not write telemetry for {stem}: {e}"),
+    }
+}
+
+/// Renders a snapshot as report [`Table`]s (the same aligned-table type
+/// every experiment uses), so telemetry summaries print and export in the
+/// house style.
+pub fn telemetry_tables(snap: &Snapshot) -> Vec<Table> {
+    let mut out = Vec::new();
+
+    let sim = snap.sim_phase_totals();
+    if !sim.is_empty() {
+        let total: u64 = sim.values().sum();
+        let mut t = Table::new("Telemetry: simulated phases", &["phase", "total", "share"]);
+        for (name, &ns) in &sim {
+            t.push_row(vec![
+                name.to_string(),
+                crate::report::fmt_secs(ns as f64 * 1e-9),
+                crate::report::fmt_pct(ns as f64 / total.max(1) as f64),
+            ]);
+        }
+        out.push(t);
+    }
+
+    let spans = snap.span_totals();
+    if !spans.is_empty() {
+        let mut t = Table::new(
+            "Telemetry: wall-clock spans",
+            &["span", "count", "total", "mean"],
+        );
+        for (name, agg) in &spans {
+            t.push_row(vec![
+                name.to_string(),
+                agg.count.to_string(),
+                crate::report::fmt_secs(agg.total_ns as f64 * 1e-9),
+                crate::report::fmt_secs(agg.total_ns as f64 * 1e-9 / agg.count.max(1) as f64),
+            ]);
+        }
+        out.push(t);
+    }
+
+    if !snap.counters.is_empty() {
+        let mut t = Table::new("Telemetry: counters", &["counter", "value"]);
+        for (name, value) in &snap.counters {
+            t.push_row(vec![name.to_string(), value.to_string()]);
+        }
+        out.push(t);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that flip the global telemetry state.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn telemetry_tables_cover_each_section() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        fastgl_telemetry::set_enabled(true);
+        fastgl_telemetry::reset();
+        {
+            let _s = fastgl_telemetry::span("bench.demo");
+        }
+        fastgl_telemetry::counter_add("bench.counter", 7);
+        fastgl_telemetry::record_sim_phases("epoch", &[("sample", 10), ("compute", 30)]);
+        let snap = fastgl_telemetry::drain();
+        fastgl_telemetry::set_enabled(false);
+
+        let tables = telemetry_tables(&snap);
+        assert_eq!(tables.len(), 3);
+        let all: String = tables.iter().map(Table::to_text).collect();
+        assert!(all.contains("bench.demo"));
+        assert!(all.contains("bench.counter"));
+        assert!(all.contains("sample"));
+        // Tables are the regular report type: CSV/JSON export works too.
+        assert!(tables[0].to_json().starts_with("{\"title\""));
+    }
+
+    #[test]
+    fn telemetry_tables_empty_when_nothing_recorded() {
+        let snap = Snapshot::default();
+        assert!(telemetry_tables(&snap).is_empty());
+    }
+
+    #[test]
+    fn export_telemetry_noop_when_disabled() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        fastgl_telemetry::set_enabled(false);
+        // Must not drain, must not write: just return.
+        export_telemetry("never_written");
+        assert!(!Path::new(TELEMETRY_DIR)
+            .join("never_written.trace.json")
+            .exists());
+    }
+}

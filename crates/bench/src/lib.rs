@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod emit;
 pub mod experiments;
 pub mod report;
 pub mod scale;

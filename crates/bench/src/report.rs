@@ -1,7 +1,34 @@
-//! Report rendering: aligned text tables plus CSV export.
+//! Report rendering: aligned text tables plus CSV and JSON export.
 
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// Escapes a string for a JSON document (RFC 8259).
+fn json_esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_esc(s)))
+        .collect();
+    format!("[{}]", cells.join(","))
+}
 
 /// One table of an experiment report.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -70,6 +97,18 @@ impl Table {
             out.push('\n');
         }
         out
+    }
+
+    /// Renders the table as a JSON object
+    /// `{"title": …, "headers": […], "rows": [[…], …]}`.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.rows.iter().map(|r| json_str_array(r)).collect();
+        format!(
+            "{{\"title\":\"{}\",\"headers\":{},\"rows\":[{}]}}",
+            json_esc(&self.title),
+            json_str_array(&self.headers),
+            rows.join(",")
+        )
     }
 
     /// Renders the table as CSV.
@@ -154,6 +193,30 @@ impl Report {
             std::fs::write(path, table.to_csv())?;
         }
         Ok(())
+    }
+
+    /// Renders the full report (id, description, notes, tables) as one
+    /// JSON document, so downstream tooling gets a machine-readable view
+    /// of every figure/table without parsing CSV filenames.
+    pub fn to_json(&self) -> String {
+        let tables: Vec<String> = self.tables.iter().map(Table::to_json).collect();
+        format!(
+            "{{\"id\":\"{}\",\"description\":\"{}\",\"notes\":{},\"tables\":[{}]}}\n",
+            json_esc(&self.id),
+            json_esc(&self.description),
+            json_str_array(&self.notes),
+            tables.join(",")
+        )
+    }
+
+    /// Writes the report as `dir/<id>.json`. Creates `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error encountered.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.json", self.id)), self.to_json())
     }
 }
 
@@ -245,6 +308,29 @@ mod tests {
         r.write_csv(&dir).unwrap();
         let content = std::fs::read_to_string(dir.join("t_0.csv")).unwrap();
         assert!(content.starts_with("name,value"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let mut t = Table::new("quote \" and\nnewline", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "z\\w".into()]);
+        let j = t.to_json();
+        assert!(j.contains("quote \\\" and\\nnewline"));
+        assert!(j.contains("\"rows\":[[\"x,y\",\"z\\\\w\"]]"));
+    }
+
+    #[test]
+    fn report_json_written_to_disk() {
+        let mut r = Report::new("tj", "json demo");
+        r.tables.push(table());
+        r.note("shape holds");
+        let dir = std::env::temp_dir().join("fastgl_report_json_test");
+        r.write_json(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("tj.json")).unwrap();
+        assert!(content.starts_with("{\"id\":\"tj\""));
+        assert!(content.contains("\"notes\":[\"shape holds\"]"));
+        assert!(content.contains("\"headers\":[\"name\",\"value\"]"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

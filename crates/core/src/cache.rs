@@ -121,6 +121,8 @@ impl FeatureCache {
             hits += h;
             misses.extend(m);
         }
+        fastgl_telemetry::counter_add("cache.hits", hits);
+        fastgl_telemetry::counter_add("cache.misses", misses.len() as u64);
         (hits, misses)
     }
 }

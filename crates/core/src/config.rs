@@ -84,6 +84,11 @@ pub struct FastGlConfig {
     /// core count; `Some(1)` forces the exact serial path. Results are
     /// bit-identical at any setting.
     pub threads: Option<usize>,
+    /// Telemetry collection (spans, counters, histograms). `None` defers
+    /// to the `FASTGL_TELEMETRY` environment variable; `Some(true)` /
+    /// `Some(false)` force it on or off for the whole process. Telemetry
+    /// never affects simulated results — only whether they are observed.
+    pub telemetry: Option<bool>,
 }
 
 impl FastGlConfig {
@@ -147,10 +152,24 @@ impl FastGlConfig {
         self
     }
 
+    /// Returns the config with telemetry forced on or off.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = Some(on);
+        self
+    }
+
     /// Installs this config's thread count as the process-wide setting of
     /// the execution backend (`None` clears any previous override).
     pub fn apply_threads(&self) {
         fastgl_tensor::parallel::set_num_threads(self.threads.unwrap_or(0));
+    }
+
+    /// Installs this config's telemetry preference process-wide. `None`
+    /// leaves the `FASTGL_TELEMETRY` environment decision untouched.
+    pub fn apply_telemetry(&self) {
+        if let Some(on) = self.telemetry {
+            fastgl_telemetry::set_enabled(on);
+        }
     }
 
     /// Number of GNN layers implied by the sampler (one per hop for the
@@ -212,6 +231,7 @@ impl Default for FastGlConfig {
             sample_device: SampleDevice::Gpu,
             seed: 0x5EED,
             threads: None,
+            telemetry: None,
         }
     }
 }
@@ -297,5 +317,15 @@ mod tests {
         let c = FastGlConfig::default().with_threads(4);
         assert_eq!(c.threads, Some(4));
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn telemetry_default_and_builder() {
+        assert_eq!(FastGlConfig::default().telemetry, None);
+        let c = FastGlConfig::default().with_telemetry(true);
+        assert_eq!(c.telemetry, Some(true));
+        c.validate().unwrap();
+        // `None` must not clobber whatever the process already decided.
+        FastGlConfig::default().apply_telemetry();
     }
 }

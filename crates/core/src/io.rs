@@ -38,6 +38,8 @@ impl IoEngine {
             return SimTime::ZERO;
         }
         let bytes = rows * row_bytes;
+        fastgl_telemetry::counter_add("io.rows_loaded", rows);
+        fastgl_telemetry::counter_add("io.bytes_h2d", bytes);
         self.pcie.host_gather_time(bytes) * self.gather_contention + self.pcie.h2d(bytes)
     }
 

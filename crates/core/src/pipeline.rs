@@ -106,6 +106,7 @@ impl Pipeline {
             "at least one GPU must train"
         );
         config.apply_threads();
+        config.apply_telemetry();
         let compute = ComputeEngine::new(config.system.clone(), config.compute_mode, config.model);
         let sampler = SamplerEngine::new(&config);
         Self {
@@ -239,6 +240,9 @@ impl TrainingSystem for Pipeline {
     }
 
     fn run_epoch(&mut self, data: &DatasetBundle, epoch: u64) -> EpochStats {
+        let _span = fastgl_telemetry::span("pipeline.epoch")
+            .with_str("system", self.name)
+            .with_u64("epoch", epoch);
         self.compute.set_workload_scale(data.spec.scale);
         let roles = self.roles();
         let trainer_gpus = roles.trainers;
@@ -358,6 +362,10 @@ impl TrainingSystem for Pipeline {
             stats.l2_hit_rate = l2_sum * inv;
             stats.aggregation_gflops = gflops_sum * inv;
         }
+        stats.breakdown.emit_telemetry(self.name);
+        fastgl_telemetry::counter_add("pipeline.iterations", stats.iterations);
+        fastgl_telemetry::counter_add("pipeline.rows_reused", stats.rows_reused);
+        fastgl_telemetry::counter_add("pipeline.rows_cached", stats.rows_cached);
         stats
     }
 }

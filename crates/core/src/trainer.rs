@@ -138,6 +138,7 @@ pub fn train_with_validation(
     };
 
     for epoch in 0..config.epochs {
+        let _epoch_span = fastgl_telemetry::span("trainer.epoch").with_u64("epoch", epoch as u64);
         let plan = MinibatchPlan::new(train_nodes, config.batch_size, config.seed, epoch as u64);
         let mut rng = DeterministicRng::seed(config.seed ^ 0xABCD).derive(epoch as u64);
         let batches: Vec<&[NodeId]> = plan.iter().collect();
@@ -161,6 +162,9 @@ pub fn train_with_validation(
 
             for &idx in &order {
                 let sg = &subgraphs[idx];
+                let _iter_span =
+                    fastgl_telemetry::span("trainer.iteration").with_u64("nodes", sg.num_nodes());
+                fastgl_telemetry::observe("trainer.batch_nodes", sg.num_nodes());
                 let x = gather(sg);
                 let batch_labels: Vec<u32> = sg
                     .seed_locals
@@ -168,10 +172,16 @@ pub fn train_with_validation(
                     .map(|&l| labels[sg.nodes[l as usize].index()])
                     .collect();
                 opt.next_iteration();
-                let logits = model.forward(sg, &x);
+                let logits = {
+                    let _fwd = fastgl_telemetry::span("trainer.forward");
+                    model.forward(sg, &x)
+                };
                 let out = fastgl_tensor::loss::softmax_cross_entropy(&logits, &batch_labels);
-                model.backward(sg, &out.grad);
-                model.apply_grads(&mut opt);
+                {
+                    let _bwd = fastgl_telemetry::span("trainer.backward");
+                    model.backward(sg, &out.grad);
+                    model.apply_grads(&mut opt);
+                }
                 iteration_losses.push(out.loss);
                 epoch_loss += out.loss;
                 count += 1;

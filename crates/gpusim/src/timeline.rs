@@ -187,6 +187,20 @@ impl PhaseBreakdown {
             compute: self.compute * factor,
         }
     }
+
+    /// Records this breakdown on the telemetry subsystem's simulated-time
+    /// track: one enclosing span named `label` with the three phases laid
+    /// out back-to-back inside it. No-op while telemetry is disabled.
+    pub fn emit_telemetry(&self, label: &'static str) {
+        fastgl_telemetry::record_sim_phases(
+            label,
+            &[
+                ("sample", self.sample.as_nanos()),
+                ("io", self.io.as_nanos()),
+                ("compute", self.compute.as_nanos()),
+            ],
+        );
+    }
 }
 
 impl Add for PhaseBreakdown {
@@ -279,6 +293,25 @@ mod tests {
     #[test]
     fn zero_breakdown_fractions_are_zero() {
         assert_eq!(PhaseBreakdown::default().fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn emit_telemetry_reproduces_phase_totals() {
+        fastgl_telemetry::set_enabled(true);
+        fastgl_telemetry::reset();
+        let b = PhaseBreakdown {
+            sample: SimTime::from_nanos(111),
+            io: SimTime::from_nanos(222),
+            compute: SimTime::from_nanos(333),
+        };
+        b.emit_telemetry("epoch");
+        b.emit_telemetry("epoch");
+        let snap = fastgl_telemetry::drain();
+        fastgl_telemetry::set_enabled(false);
+        let totals = snap.sim_phase_totals();
+        assert_eq!(totals.get("sample").copied(), Some(222));
+        assert_eq!(totals.get("io").copied(), Some(444));
+        assert_eq!(totals.get("compute").copied(), Some(666));
     }
 
     #[test]

@@ -53,6 +53,9 @@ impl LayerWiseSampler {
         id_map: &dyn IdMap,
         rng: &mut DeterministicRng,
     ) -> (SampledSubgraph, SampleStats) {
+        let _span = fastgl_telemetry::span("sample.layer_wise")
+            .with_u64("seeds", seeds.len() as u64)
+            .with_u64("layers", self.layer_budgets.len() as u64);
         let mut stats = SampleStats::default();
         let mut frontier: Vec<u64> = seeds.iter().map(|n| n.0).collect();
         let mut hop_blocks: Vec<Block> = Vec::with_capacity(self.layer_budgets.len());
@@ -156,6 +159,8 @@ impl LayerWiseSampler {
             seed_locals: (0..seeds.len() as u64).collect(),
             blocks: hop_blocks,
         };
+        fastgl_telemetry::counter_add("sample.nodes_sampled", subgraph.nodes.len() as u64);
+        fastgl_telemetry::counter_add("sample.edges_sampled", stats.edges_sampled);
         (subgraph, stats)
     }
 }

@@ -89,6 +89,9 @@ impl NeighborSampler {
         id_map: &dyn IdMap,
         rng: &mut DeterministicRng,
     ) -> (SampledSubgraph, SampleStats) {
+        let _span = fastgl_telemetry::span("sample.neighbor")
+            .with_u64("seeds", seeds.len() as u64)
+            .with_u64("hops", self.fanouts.len() as u64);
         let mut stats = SampleStats::default();
         // Current frontier as global IDs; local IDs of earlier entries stay
         // stable because every hop's unique list starts with this prefix.
@@ -175,6 +178,8 @@ impl NeighborSampler {
             seed_locals: (0..seeds.len() as u64).collect(),
             blocks: hop_blocks,
         };
+        fastgl_telemetry::counter_add("sample.nodes_sampled", subgraph.nodes.len() as u64);
+        fastgl_telemetry::counter_add("sample.edges_sampled", stats.edges_sampled);
         (subgraph, stats)
     }
 }

@@ -44,6 +44,10 @@ impl RandomWalkSampler {
     ) -> (SampledSubgraph, SampleStats) {
         assert!(self.walk_length > 0, "walk length must be positive");
         assert!(self.num_walks > 0, "need at least one walk");
+        let _span = fastgl_telemetry::span("sample.random_walk")
+            .with_u64("seeds", seeds.len() as u64)
+            .with_u64("walk_length", self.walk_length as u64)
+            .with_u64("num_walks", self.num_walks as u64);
         let mut stats = SampleStats::default();
 
         let mut visited_flat: Vec<u64> = Vec::new();
@@ -105,6 +109,8 @@ impl RandomWalkSampler {
             }],
             seed_locals: (0..num_dst as u64).collect(),
         };
+        fastgl_telemetry::counter_add("sample.nodes_sampled", subgraph.nodes.len() as u64);
+        fastgl_telemetry::counter_add("sample.edges_sampled", stats.edges_sampled);
         (subgraph, stats)
     }
 }

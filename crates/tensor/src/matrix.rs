@@ -154,6 +154,14 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let _span = fastgl_telemetry::span("tensor.matmul")
+            .with_u64("m", self.rows as u64)
+            .with_u64("k", self.cols as u64)
+            .with_u64("n", rhs.cols as u64);
+        fastgl_telemetry::counter_add(
+            "tensor.matmul_flops",
+            2 * (self.rows * self.cols * rhs.cols) as u64,
+        );
         let n = rhs.cols;
         let mut out = Matrix::zeros(self.rows, n);
         if n == 0 {
@@ -202,6 +210,14 @@ impl Matrix {
             "matmul_transpose_a dimension mismatch: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let _span = fastgl_telemetry::span("tensor.matmul_t_a")
+            .with_u64("m", self.cols as u64)
+            .with_u64("k", self.rows as u64)
+            .with_u64("n", rhs.cols as u64);
+        fastgl_telemetry::counter_add(
+            "tensor.matmul_flops",
+            2 * (self.rows * self.cols * rhs.cols) as u64,
+        );
         let n = rhs.cols;
         let mut out = Matrix::zeros(self.cols, n);
         if n == 0 {
@@ -238,6 +254,14 @@ impl Matrix {
             self.cols, rhs.cols,
             "matmul_transpose_b dimension mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let _span = fastgl_telemetry::span("tensor.matmul_t_b")
+            .with_u64("m", self.rows as u64)
+            .with_u64("k", self.cols as u64)
+            .with_u64("n", rhs.rows as u64);
+        fastgl_telemetry::counter_add(
+            "tensor.matmul_flops",
+            2 * (self.rows * self.cols * rhs.rows) as u64,
         );
         let n = rhs.rows;
         let mut out = Matrix::zeros(self.rows, n);
@@ -379,6 +403,11 @@ impl Matrix {
             "flat buffer of {} elements is smaller than {num_rows} rows of {dim}",
             src.len()
         );
+        let _span = fastgl_telemetry::span("tensor.gather")
+            .with_u64("rows", indices.len() as u64)
+            .with_u64("dim", dim as u64);
+        fastgl_telemetry::counter_add("tensor.gather_rows", indices.len() as u64);
+        fastgl_telemetry::counter_add("tensor.gather_bytes", (indices.len() * dim * 4) as u64);
         let mut out = Matrix::zeros(indices.len(), dim);
         if dim == 0 {
             for &idx in indices {

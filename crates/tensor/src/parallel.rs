@@ -122,7 +122,12 @@ where
             if head.is_empty() {
                 continue;
             }
-            scope.spawn(move || f(range.start, head));
+            scope.spawn(move || {
+                let _span = fastgl_telemetry::span("parallel.chunk")
+                    .with_u64("first", range.start as u64)
+                    .with_u64("rows", range.len() as u64);
+                f(range.start, head)
+            });
         }
     });
 }
@@ -151,7 +156,14 @@ where
         let f = &f;
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|range| scope.spawn(move || f(range)))
+            .map(|range| {
+                scope.spawn(move || {
+                    let _span = fastgl_telemetry::span("parallel.chunk")
+                        .with_u64("first", range.start as u64)
+                        .with_u64("items", range.len() as u64);
+                    f(range)
+                })
+            })
             .collect();
         handles
             .into_iter()

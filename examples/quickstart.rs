@@ -2,15 +2,21 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! FASTGL_TELEMETRY=1 cargo run --release --example quickstart
 //! ```
 //!
 //! Generates a scaled synthetic ogbn-products, runs a GCN training epoch
 //! under both pipelines on the simulated 2-GPU RTX 3090 server, and prints
-//! the phase breakdown the paper's Fig. 1/3 are built from.
+//! the phase breakdown the paper's Fig. 1/3 are built from. With
+//! `FASTGL_TELEMETRY=1` the per-phase lines come from the telemetry
+//! subsystem's summary exporter instead, and FastGL's run is exported as
+//! `results/telemetry/quickstart.trace.json` (load it in Perfetto /
+//! `chrome://tracing`) plus `quickstart.telemetry.json`.
 
 use fastgl::baselines::SystemKind;
 use fastgl::core::FastGlConfig;
 use fastgl::graph::Dataset;
+use fastgl::telemetry;
 
 fn main() {
     // A 1/512-scale ogbn-products: same degree structure, 200-wide
@@ -29,38 +35,51 @@ fn main() {
         .with_batch_size(256)
         .with_fanouts(vec![5, 10, 15]);
 
+    telemetry::reset();
+    let mut totals = Vec::new();
     for kind in [SystemKind::Dgl, SystemKind::FastGl] {
         let mut system = kind.build(config.clone());
         let stats = system.run_epochs(&data, 3);
-        let (s, i, c) = stats.breakdown.fractions();
         println!("\n== {} ==", kind.name());
         println!("  epoch time : {}", stats.total());
-        println!(
-            "  phases     : sample {} ({:.0}%) | io {} ({:.0}%) | compute {} ({:.0}%)",
-            stats.breakdown.sample,
-            s * 100.0,
-            stats.breakdown.io,
-            i * 100.0,
-            stats.breakdown.compute,
-            c * 100.0,
-        );
         println!(
             "  feature rows: {} loaded over PCIe, {} reused (Match), {} cached",
             stats.rows_loaded, stats.rows_reused, stats.rows_cached,
         );
         println!("  bytes over PCIe: {:.1} MB", stats.bytes_h2d as f64 / 1e6);
+        if telemetry::enabled() {
+            // The summary exporter renders the same sample/io/compute
+            // breakdown (plus wall-clock spans and counters) straight from
+            // the telemetry the pipeline recorded.
+            let snap = telemetry::drain();
+            print!("\n{}", telemetry::export::summary(&snap));
+            if matches!(kind, SystemKind::FastGl) {
+                let dir = std::path::Path::new("results/telemetry");
+                match telemetry::export::write_to_dir(&snap, dir, "quickstart") {
+                    Ok((trace, perf)) => {
+                        println!("telemetry: {} + {}", trace.display(), perf.display());
+                    }
+                    Err(e) => eprintln!("warning: could not write telemetry: {e}"),
+                }
+            }
+        } else {
+            let (s, i, c) = stats.breakdown.fractions();
+            println!(
+                "  phases     : sample {} ({:.0}%) | io {} ({:.0}%) | compute {} ({:.0}%)",
+                stats.breakdown.sample,
+                s * 100.0,
+                stats.breakdown.io,
+                i * 100.0,
+                stats.breakdown.compute,
+                c * 100.0,
+            );
+            println!("  (set FASTGL_TELEMETRY=1 for the full span/counter summary)");
+        }
+        totals.push(stats.total());
     }
 
-    let dgl = SystemKind::Dgl
-        .build(config.clone())
-        .run_epochs(&data, 3)
-        .total();
-    let fast = SystemKind::FastGl
-        .build(config)
-        .run_epochs(&data, 3)
-        .total();
     println!(
         "\nFastGL speedup over DGL: {:.2}x (paper average: 2.2x)",
-        dgl.as_secs_f64() / fast.as_secs_f64()
+        totals[0].as_secs_f64() / totals[1].as_secs_f64()
     );
 }

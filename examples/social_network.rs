@@ -16,9 +16,11 @@ use fastgl::gnn::ModelKind;
 use fastgl::graph::{Dataset, DeterministicRng};
 use fastgl::sample::overlap::{match_degree_matrix, summarize_matrix};
 use fastgl::sample::MinibatchPlan;
+use fastgl::telemetry;
 
 fn main() {
     let data = Dataset::Reddit.generate_scaled(1.0 / 64.0, 7);
+    telemetry::reset();
     println!(
         "Reddit stand-in: {} nodes, {} edges (avg degree {:.0})",
         data.graph.num_nodes(),
@@ -79,4 +81,16 @@ fn main() {
         s_with.total(),
         s_without.total().as_secs_f64() / s_with.total().as_secs_f64(),
     );
+
+    // With FASTGL_TELEMETRY=1 the whole scenario (sampling probes plus
+    // both epochs runs) is summarised and exported for Perfetto.
+    if telemetry::enabled() {
+        let snap = telemetry::drain();
+        print!("\n{}", telemetry::export::summary(&snap));
+        let dir = std::path::Path::new("results/telemetry");
+        match telemetry::export::write_to_dir(&snap, dir, "social_network") {
+            Ok((trace, perf)) => println!("telemetry: {} + {}", trace.display(), perf.display()),
+            Err(e) => eprintln!("warning: could not write telemetry: {e}"),
+        }
+    }
 }

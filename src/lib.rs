@@ -15,6 +15,9 @@
 //!   computation, and the FastGL training pipeline.
 //! * [`baselines`] — PyG-, DGL-, GNNLab-, GNNAdvisor-, and PaGraph-like
 //!   systems on the same substrate.
+//! * [`telemetry`] — spans, counters, and histograms over the training hot
+//!   paths, exported as chrome-trace and JSON (enable with
+//!   `FASTGL_TELEMETRY=1`).
 //!
 //! # Quickstart
 //!
@@ -36,4 +39,5 @@ pub use fastgl_gnn as gnn;
 pub use fastgl_gpusim as gpusim;
 pub use fastgl_graph as graph;
 pub use fastgl_sample as sample;
+pub use fastgl_telemetry as telemetry;
 pub use fastgl_tensor as tensor;
