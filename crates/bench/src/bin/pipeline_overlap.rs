@@ -1,0 +1,10 @@
+//! Benchmarks the asynchronous window pipeline (`BENCH_pipeline`): wall
+//! epoch time and per-stage busy/stall at prefetch depths 0/1/2/4, with
+//! simulated results asserted bit-identical across depths.
+//! Set `FASTGL_QUICK=1` for a fast smoke run.
+
+fn main() {
+    let scale = fastgl_bench::BenchScale::from_env();
+    let report = fastgl_bench::experiments::pipeline_overlap::run(&scale);
+    fastgl_bench::emit::finish(&report);
+}

@@ -35,6 +35,7 @@ pub fn measure(scale: &BenchScale, dataset: Dataset, window: usize) -> (f64, f64
                 .sample_batch(&data.graph, seeds, &mut rng)
                 .0
                 .sorted_global_ids()
+                .to_vec()
         })
         .collect();
     let summary = summarize_matrix(&match_degree_matrix(&sets));

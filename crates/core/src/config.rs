@@ -89,6 +89,14 @@ pub struct FastGlConfig {
     /// `Some(false)` force it on or off for the whole process. Telemetry
     /// never affects simulated results — only whether they are observed.
     pub telemetry: Option<bool>,
+    /// Prefetch depth of the asynchronous window pipeline: how many
+    /// mini-batch windows the sampler may run ahead of the compute stage
+    /// (see [`crate::executor::PipelineExecutor`]). `None` defers to the
+    /// `FASTGL_PREFETCH` environment variable and then `0`, which executes
+    /// the stages back-to-back on one thread. Prefetching changes
+    /// wall-clock time only — simulated results are bit-identical at any
+    /// depth.
+    pub prefetch_windows: Option<usize>,
 }
 
 impl FastGlConfig {
@@ -156,6 +164,28 @@ impl FastGlConfig {
     pub fn with_telemetry(mut self, on: bool) -> Self {
         self.telemetry = Some(on);
         self
+    }
+
+    /// Returns the config with an explicit window-pipeline prefetch depth
+    /// (`0` forces the serial path regardless of `FASTGL_PREFETCH`).
+    pub fn with_prefetch_windows(mut self, depth: usize) -> Self {
+        self.prefetch_windows = Some(depth);
+        self
+    }
+
+    /// The effective prefetch depth: the explicit setting, else the
+    /// `FASTGL_PREFETCH` environment variable, else `0` (serial).
+    ///
+    /// The environment is re-read on every call so tests can vary it
+    /// within one process.
+    pub fn resolved_prefetch(&self) -> usize {
+        if let Some(depth) = self.prefetch_windows {
+            return depth;
+        }
+        std::env::var("FASTGL_PREFETCH")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
     }
 
     /// Installs this config's thread count as the process-wide setting of
@@ -232,6 +262,7 @@ impl Default for FastGlConfig {
             seed: 0x5EED,
             threads: None,
             telemetry: None,
+            prefetch_windows: None,
         }
     }
 }
@@ -317,6 +348,21 @@ mod tests {
         let c = FastGlConfig::default().with_threads(4);
         assert_eq!(c.threads, Some(4));
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn prefetch_default_and_builder() {
+        let c = FastGlConfig::default();
+        assert_eq!(c.prefetch_windows, None);
+        let c = c.with_prefetch_windows(4);
+        assert_eq!(c.prefetch_windows, Some(4));
+        assert_eq!(c.resolved_prefetch(), 4);
+        c.validate().unwrap();
+        // Depth 0 is valid and forces the serial path.
+        FastGlConfig::default()
+            .with_prefetch_windows(0)
+            .validate()
+            .unwrap();
     }
 
     #[test]

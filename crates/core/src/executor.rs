@@ -1,0 +1,390 @@
+//! Asynchronous stage-pipelined epoch execution (paper §6.5 / Fig. 5).
+//!
+//! FastGL overlaps the sample, reorder/match, and feature-load/compute
+//! phases of *different* mini-batch windows: while window `w` trains, the
+//! sampler already draws window `w + 1`. This module provides that overlap
+//! for the host-side execution of [`crate::pipeline::Pipeline`] as a
+//! generic three-stage producer/consumer pipeline over bounded channels:
+//!
+//! * **sample** — draw a window of mini-batch subgraphs (Fused-Map);
+//! * **prepare** — reorder the window (Algorithm 1) and build each batch's
+//!   Match load set against the resident set;
+//! * **execute** — feature load + compute, on the caller's thread.
+//!
+//! The pipeline changes **wall-clock behaviour only**. Windows flow
+//! strictly FIFO through single-producer/single-consumer channels, every
+//! stage closure observes them in the same order the serial loop would,
+//! and all randomness is derived per batch index upstream — so simulated
+//! times, statistics, and floating-point accumulations are bit-identical
+//! at any prefetch depth (including the depth-0 serial path) and any
+//! `FASTGL_THREADS` setting.
+//!
+//! Per-stage busy/stall wall time is reported as [`PipelineWallStats`] and
+//! exported through `fastgl-telemetry` histograms, giving the pipeline an
+//! observable efficiency figure (how much of each stage's wall time was
+//! useful work vs. waiting on its neighbours).
+
+use std::sync::mpsc::sync_channel;
+use std::time::{Duration, Instant};
+
+/// Wall-clock accounting of one pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageWallStats {
+    /// Time spent inside the stage closure (useful work).
+    pub busy: Duration,
+    /// Time spent blocked on the neighbouring channels (send + recv).
+    pub stall: Duration,
+    /// Windows processed.
+    pub items: u64,
+}
+
+impl StageWallStats {
+    /// Fraction of the stage's wall time that was useful work, in
+    /// `[0, 1]`; `1.0` for a stage that never ran.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy + self.stall;
+        if total.is_zero() {
+            return 1.0;
+        }
+        self.busy.as_secs_f64() / total.as_secs_f64()
+    }
+}
+
+/// Wall-clock accounting of one pipelined epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineWallStats {
+    /// Prefetch depth the run used (0 = serial).
+    pub prefetch: usize,
+    /// Capacity of the inter-stage channels.
+    pub channel_bound: usize,
+    /// The window-sampling stage.
+    pub sample: StageWallStats,
+    /// The reorder + match-set stage.
+    pub prepare: StageWallStats,
+    /// The feature-load + compute stage (caller thread).
+    pub execute: StageWallStats,
+}
+
+impl PipelineWallStats {
+    /// Records the per-stage busy/stall times into telemetry histograms.
+    ///
+    /// Histograms (not counters) on purpose: wall time varies with thread
+    /// count and scheduling, and counter totals are pinned invariant
+    /// across `FASTGL_THREADS` by the telemetry test suite.
+    pub fn emit_telemetry(&self) {
+        for (name_busy, name_stall, st) in [
+            (
+                "pipeline.sample.busy_ns",
+                "pipeline.sample.stall_ns",
+                &self.sample,
+            ),
+            (
+                "pipeline.prepare.busy_ns",
+                "pipeline.prepare.stall_ns",
+                &self.prepare,
+            ),
+            (
+                "pipeline.execute.busy_ns",
+                "pipeline.execute.stall_ns",
+                &self.execute,
+            ),
+        ] {
+            fastgl_telemetry::observe(name_busy, st.busy.as_nanos() as u64);
+            fastgl_telemetry::observe(name_stall, st.stall.as_nanos() as u64);
+        }
+    }
+}
+
+/// Runs a window stage under its telemetry span and busy timer.
+fn timed<O>(
+    st: &mut StageWallStats,
+    name: &'static str,
+    window: usize,
+    f: impl FnOnce() -> O,
+) -> O {
+    let _span = fastgl_telemetry::span(name).with_u64("window", window as u64);
+    let start = Instant::now();
+    let out = f();
+    st.busy += start.elapsed();
+    st.items += 1;
+    out
+}
+
+/// The three-stage window pipeline.
+///
+/// `prefetch` is the number of windows each producer stage may run ahead
+/// of its consumer; `0` executes the stages back-to-back on the calling
+/// thread (today's serial behaviour, with identical telemetry spans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineExecutor {
+    prefetch: usize,
+    channel_bound: usize,
+}
+
+impl PipelineExecutor {
+    /// An executor with the given prefetch depth; the inter-stage channel
+    /// capacity defaults to `prefetch.max(1)`.
+    pub fn new(prefetch: usize) -> Self {
+        Self {
+            prefetch,
+            channel_bound: prefetch.max(1),
+        }
+    }
+
+    /// Overrides the inter-stage channel capacity (≥ 1). Smaller bounds
+    /// increase backpressure without changing any result.
+    pub fn with_channel_bound(mut self, bound: usize) -> Self {
+        assert!(bound >= 1, "channel bound must be at least 1");
+        self.channel_bound = bound;
+        self
+    }
+
+    /// The configured prefetch depth.
+    pub fn prefetch(&self) -> usize {
+        self.prefetch
+    }
+
+    /// Runs `windows` items through `sample → prepare → execute`.
+    ///
+    /// Stages see windows in index order (`0..windows`), exactly as the
+    /// serial loop would; `execute` always runs on the calling thread, so
+    /// it may borrow caller state mutably without synchronisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics from any stage closure propagate to the caller.
+    pub fn run<W, P, FS, FP, FE>(
+        &self,
+        windows: usize,
+        mut sample: FS,
+        mut prepare: FP,
+        mut execute: FE,
+    ) -> PipelineWallStats
+    where
+        W: Send,
+        P: Send,
+        FS: FnMut(usize) -> W + Send,
+        FP: FnMut(usize, W) -> P + Send,
+        FE: FnMut(usize, P),
+    {
+        fastgl_telemetry::counter_add("pipeline.windows", windows as u64);
+        let mut stats = PipelineWallStats {
+            prefetch: self.prefetch,
+            channel_bound: self.channel_bound,
+            ..Default::default()
+        };
+        if self.prefetch == 0 {
+            for w in 0..windows {
+                let item = timed(&mut stats.sample, "pipeline.stage.sample", w, || sample(w));
+                let prepared = timed(&mut stats.prepare, "pipeline.stage.prepare", w, || {
+                    prepare(w, item)
+                });
+                timed(&mut stats.execute, "pipeline.stage.execute", w, || {
+                    execute(w, prepared)
+                });
+            }
+            stats.emit_telemetry();
+            return stats;
+        }
+
+        let bound = self.channel_bound;
+        let (mut sample_st, mut prepare_st) =
+            (StageWallStats::default(), StageWallStats::default());
+        std::thread::scope(|scope| {
+            let (tx_sampled, rx_sampled) = sync_channel::<(usize, W)>(bound);
+            let (tx_prepared, rx_prepared) = sync_channel::<(usize, P)>(bound);
+
+            let sampler = scope.spawn(move || {
+                let mut st = StageWallStats::default();
+                for w in 0..windows {
+                    let item = timed(&mut st, "pipeline.stage.sample", w, || sample(w));
+                    let wait = Instant::now();
+                    // A closed channel means a downstream stage panicked;
+                    // stop producing and let the join surface the panic.
+                    if tx_sampled.send((w, item)).is_err() {
+                        break;
+                    }
+                    st.stall += wait.elapsed();
+                }
+                st
+            });
+
+            let preparer = scope.spawn(move || {
+                let mut st = StageWallStats::default();
+                loop {
+                    let wait = Instant::now();
+                    let Ok((w, item)) = rx_sampled.recv() else {
+                        break;
+                    };
+                    st.stall += wait.elapsed();
+                    let prepared = timed(&mut st, "pipeline.stage.prepare", w, || prepare(w, item));
+                    let wait = Instant::now();
+                    if tx_prepared.send((w, prepared)).is_err() {
+                        break;
+                    }
+                    st.stall += wait.elapsed();
+                }
+                st
+            });
+
+            loop {
+                let wait = Instant::now();
+                let Ok((w, prepared)) = rx_prepared.recv() else {
+                    break;
+                };
+                stats.execute.stall += wait.elapsed();
+                timed(&mut stats.execute, "pipeline.stage.execute", w, || {
+                    execute(w, prepared)
+                });
+            }
+            sample_st = sampler
+                .join()
+                .unwrap_or_else(|p| std::panic::resume_unwind(p));
+            prepare_st = preparer
+                .join()
+                .unwrap_or_else(|p| std::panic::resume_unwind(p));
+        });
+        stats.sample = sample_st;
+        stats.prepare = prepare_st;
+        stats.emit_telemetry();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs a 3-stage arithmetic pipeline and returns the execute-stage
+    /// observations `(window, value)` in arrival order.
+    fn run_chain(
+        executor: PipelineExecutor,
+        windows: usize,
+    ) -> (Vec<(usize, u64)>, PipelineWallStats) {
+        let mut seen = Vec::new();
+        let stats = executor.run(
+            windows,
+            |w| w as u64 * 10,
+            |w, x| x + w as u64,
+            |w, x| seen.push((w, x)),
+        );
+        (seen, stats)
+    }
+
+    fn expected(windows: usize) -> Vec<(usize, u64)> {
+        (0..windows).map(|w| (w, w as u64 * 11)).collect()
+    }
+
+    #[test]
+    fn serial_depth_runs_in_order() {
+        let (seen, stats) = run_chain(PipelineExecutor::new(0), 7);
+        assert_eq!(seen, expected(7));
+        assert_eq!(stats.sample.items, 7);
+        assert_eq!(stats.execute.items, 7);
+        assert_eq!(stats.prefetch, 0);
+    }
+
+    #[test]
+    fn pipelined_depths_preserve_order_and_values() {
+        for depth in [1usize, 2, 4, 16] {
+            let (seen, stats) = run_chain(PipelineExecutor::new(depth), 23);
+            assert_eq!(seen, expected(23), "depth {depth}");
+            assert_eq!(stats.prepare.items, 23);
+            assert_eq!(stats.channel_bound, depth);
+        }
+    }
+
+    #[test]
+    fn channel_bound_one_backpressure_is_lossless() {
+        let (seen, stats) = run_chain(PipelineExecutor::new(4).with_channel_bound(1), 50);
+        assert_eq!(seen, expected(50));
+        assert_eq!(stats.channel_bound, 1);
+        assert_eq!(stats.execute.items, 50);
+    }
+
+    #[test]
+    fn zero_windows_is_a_noop() {
+        for depth in [0usize, 2] {
+            let (seen, stats) = run_chain(PipelineExecutor::new(depth), 0);
+            assert!(seen.is_empty());
+            assert_eq!(stats.sample.items, 0);
+        }
+    }
+
+    #[test]
+    fn stateful_stages_see_windows_fifo() {
+        // The prepare stage carries state across windows (like the
+        // pipeline's resident set); FIFO delivery makes it deterministic.
+        let mut carried = 0u64;
+        let mut out = Vec::new();
+        PipelineExecutor::new(3).run(
+            10,
+            |w| w as u64,
+            move |_, x| {
+                carried += x;
+                carried
+            },
+            |_, running| out.push(running),
+        );
+        let expect: Vec<u64> = (0..10u64)
+            .scan(0, |acc, x| {
+                *acc += x;
+                Some(*acc)
+            })
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn overlap_actually_happens() {
+        // With sleeps in producer and consumer, depth-1 pipelining must
+        // beat the serial sum of the sleeps.
+        let delay = Duration::from_millis(4);
+        let windows = 8;
+        let work = |_w: usize| std::thread::sleep(delay);
+        let start = Instant::now();
+        PipelineExecutor::new(1).run(windows, work, |_, _| (), move |w, _| work(w));
+        let piped = start.elapsed();
+        let serial = delay * 2 * windows as u32;
+        assert!(
+            piped < serial - delay * 2,
+            "pipelined {piped:?} vs serial {serial:?}"
+        );
+    }
+
+    #[test]
+    fn stage_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            PipelineExecutor::new(2).run(
+                6,
+                |w| w,
+                |_, w| {
+                    if w == 3 {
+                        panic!("prepare stage failure");
+                    }
+                    w
+                },
+                |_, _| (),
+            );
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let st = StageWallStats::default();
+        assert_eq!(st.utilization(), 1.0);
+        let st = StageWallStats {
+            busy: Duration::from_millis(3),
+            stall: Duration::from_millis(1),
+            items: 1,
+        };
+        assert!((st.utilization() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_channel_bound_rejected() {
+        let _ = PipelineExecutor::new(1).with_channel_bound(0);
+    }
+}

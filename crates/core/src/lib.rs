@@ -24,6 +24,7 @@
 pub mod cache;
 pub mod compute;
 pub mod config;
+pub mod executor;
 pub mod hotness;
 pub mod io;
 pub mod match_reorder;
@@ -37,6 +38,7 @@ pub mod trainer;
 pub use cache::FeatureCache;
 pub use compute::{ComputeEngine, ComputeResult};
 pub use config::{ComputeMode, FastGlConfig, IdMapKind, SampleDevice, SamplerKind};
+pub use executor::{PipelineExecutor, PipelineWallStats, StageWallStats};
 pub use hotness::{CacheRankPolicy, HotnessCounter};
 pub use pipeline::{CachePolicy, FastGl, Pipeline, PipelinePolicy};
 pub use system::{EpochStats, TrainingSystem};

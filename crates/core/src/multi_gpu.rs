@@ -8,6 +8,7 @@
 //! cost, and GNNLab's sample-hiding — which [`crate::pipeline::Pipeline`]
 //! applies.
 
+use fastgl_gpusim::overlap;
 use fastgl_gpusim::transfer::ring_allreduce_time;
 use fastgl_gpusim::{SimTime, SystemSpec};
 
@@ -56,6 +57,10 @@ impl GpuRoles {
     /// GNNLab's visible sample time: `samplers` GPUs sample for all
     /// `trainers`, overlapped with training; only the excess shows.
     ///
+    /// This is the infinite-buffer steady-state bound
+    /// ([`overlap::steady_state_visible`]) of the shared overlap model —
+    /// the per-window variant below tightens it with fill/drain effects.
+    ///
     /// With no dedicated samplers the sampling is on the critical path and
     /// returned unchanged.
     pub fn visible_sample_time(
@@ -67,7 +72,29 @@ impl GpuRoles {
             return shard_sample_total;
         }
         let sampler_work = shard_sample_total * (self.trainers as f64 / self.samplers as f64);
-        sampler_work.saturating_sub(train_total)
+        overlap::steady_state_visible(sampler_work, train_total)
+    }
+
+    /// Per-window visible sample time: the dedicated samplers produce
+    /// window `w + 1` while the trainers consume window `w`, so only the
+    /// pipeline fill plus any window where sampling outruns training shows
+    /// on the critical path ([`overlap::hidden_stage_visible`]).
+    ///
+    /// `sample[w]` is the shard's sampling time of window `w`; `train[w]`
+    /// is the trainers' IO + compute time of the same window. Each
+    /// sampler GPU serves `trainers / samplers` shards, scaling the
+    /// producer side exactly as [`Self::visible_sample_time`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn visible_sample_windows(&self, sample: &[SimTime], train: &[SimTime]) -> SimTime {
+        if self.samplers == 0 {
+            return sample.iter().copied().sum();
+        }
+        let ratio = self.trainers as f64 / self.samplers as f64;
+        let produced: Vec<SimTime> = sample.iter().map(|&s| s * ratio).collect();
+        overlap::hidden_stage_visible(&produced, train)
     }
 }
 
@@ -132,6 +159,25 @@ mod tests {
         // No dedicated sampler: nothing hidden.
         let plain = GpuRoles::new(2, 0);
         assert_eq!(plain.visible_sample_time(t(800), t(500)), t(800));
+    }
+
+    #[test]
+    fn per_window_hiding_charges_only_fill_and_excess() {
+        let r = GpuRoles::new(2, 1); // 1 trainer, 1 sampler
+        let sample = [t(100), t(100), t(100)];
+        let train = [t(500), t(500), t(500)];
+        // Sampler keeps up: only the first window's fill is visible.
+        assert_eq!(r.visible_sample_windows(&sample, &train), t(100));
+        // Sampler falls behind on every window: fill + per-window excess.
+        let slow = [t(800), t(800), t(800)];
+        assert_eq!(r.visible_sample_windows(&slow, &train), t(800 + 300 + 300));
+        // No dedicated sampler: the full sum is on the critical path.
+        let plain = GpuRoles::new(2, 0);
+        assert_eq!(plain.visible_sample_windows(&slow, &train), t(2_400));
+        // Never less than the steady-state bound for the same totals.
+        let windows = r.visible_sample_windows(&slow, &train);
+        let steady = r.visible_sample_time(t(2_400), t(1_500));
+        assert!(windows >= steady);
     }
 
     #[test]

@@ -17,18 +17,19 @@
 use crate::cache::FeatureCache;
 use crate::compute::ComputeEngine;
 use crate::config::FastGlConfig;
+use crate::executor::{PipelineExecutor, PipelineWallStats};
 use crate::hotness::{rank_nodes, CacheRankPolicy, HotnessCounter};
 use crate::io::IoEngine;
 use crate::match_reorder::{greedy_reorder, match_load_set};
 use crate::memory_model::estimate_batch_memory;
 use crate::multi_gpu::GpuRoles;
-use crate::sampler::SamplerEngine;
+use crate::sampler::{SampleTiming, SamplerEngine};
 use crate::system::{EpochStats, TrainingSystem};
 use fastgl_gnn::{census, ModelConfig};
 use fastgl_gpusim::{PhaseBreakdown, SimTime};
 use fastgl_graph::{DatasetBundle, DeterministicRng, NodeId};
 use fastgl_sample::overlap::match_degree_matrix;
-use fastgl_sample::MinibatchPlan;
+use fastgl_sample::{MinibatchPlan, SampleStats, SampledSubgraph};
 
 /// How the device feature cache is sized.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,6 +81,20 @@ impl PipelinePolicy {
     }
 }
 
+/// One sampled mini-batch travelling through the window pipeline.
+struct SampledBatch {
+    sg: SampledSubgraph,
+    stats: SampleStats,
+    timing: SampleTiming,
+}
+
+/// A sampled batch with its Match load set, in execution order.
+struct PreparedBatch {
+    batch: SampledBatch,
+    load: Vec<NodeId>,
+    reused: u64,
+}
+
 /// The generic sampling-based training pipeline.
 #[derive(Debug)]
 pub struct Pipeline {
@@ -90,6 +105,8 @@ pub struct Pipeline {
     sampler: SamplerEngine,
     /// Lazily determined auto-cache size (rows), per pipeline lifetime.
     auto_cache_rows: Option<u64>,
+    /// Wall-clock stage accounting of the most recent epoch.
+    last_wall: Option<PipelineWallStats>,
 }
 
 impl Pipeline {
@@ -116,12 +133,20 @@ impl Pipeline {
             compute,
             sampler,
             auto_cache_rows: None,
+            last_wall: None,
         }
     }
 
     /// The pipeline's configuration.
     pub fn config(&self) -> &FastGlConfig {
         &self.config
+    }
+
+    /// Wall-clock busy/stall accounting of the most recent epoch's window
+    /// pipeline (`None` before the first epoch). Purely observational:
+    /// prefetch depth never changes simulated results.
+    pub fn pipeline_wall_stats(&self) -> Option<PipelineWallStats> {
+        self.last_wall
     }
 
     /// The pipeline's policy.
@@ -259,7 +284,11 @@ impl TrainingSystem for Pipeline {
         let dims = model_cfg.layer_dims();
         let param_bytes = model_cfg.param_bytes();
         let row_bytes = data.spec.feature_dim as u64 * 4;
-        let mut rng = DeterministicRng::seed(self.config.seed ^ 0x9A9A ^ data.spec.dataset as u64)
+        let feature_dim = data.spec.feature_dim;
+        // One independent RNG stream per mini-batch, derived from its
+        // global batch index: a batch's draws cannot depend on which
+        // pipeline stage, thread, or prefetch depth samples it.
+        let rng_base = DeterministicRng::seed(self.config.seed ^ 0x9A9A ^ data.spec.dataset as u64)
             .derive(epoch);
         let mut io = IoEngine::new(&self.config.system, trainer_gpus);
         let allreduce = roles.allreduce_time(&self.config.system, param_bytes);
@@ -271,7 +300,8 @@ impl TrainingSystem for Pipeline {
         let mut l1_sum = 0.0;
         let mut l2_sum = 0.0;
         let mut gflops_sum = 0.0;
-        let mut resident: Vec<NodeId> = Vec::new();
+        let mut window_sample: Vec<SimTime> = Vec::new();
+        let mut window_train: Vec<SimTime> = Vec::new();
 
         let window = if self.policy.use_reorder {
             self.config.reorder_window.max(2)
@@ -279,73 +309,122 @@ impl TrainingSystem for Pipeline {
             1
         };
         let batches: Vec<&[NodeId]> = plan.iter().collect();
-        for chunk in batches.chunks(window) {
+        let num_windows = batches.len().div_ceil(window);
+        let executor = PipelineExecutor::new(self.config.resolved_prefetch());
+
+        // Split the `self` borrow across the stages: the sample stage
+        // reads the sampler (possibly from a worker thread) while the
+        // execute stage mutates the compute engine on this thread.
+        let sampler = &self.sampler;
+        let compute = &mut self.compute;
+        let config = &self.config;
+        let policy = self.policy;
+        let graph = &data.graph;
+        let mut resident: Vec<NodeId> = Vec::new();
+
+        let wall = executor.run(
+            num_windows,
             // Fused-Map Sampler stage: sample the window's mini-batches.
-            let mut subgraphs = Vec::with_capacity(chunk.len());
-            for seeds in chunk {
-                let (sg, s_stats) = self.sampler.sample_batch(&data.graph, seeds, &mut rng);
-                let timing = self.sampler.sample_time(&s_stats, &self.config.system.cost);
-                sample_total += timing.total;
-                stats.id_map_time += timing.id_map;
-                stats.edges_sampled += s_stats.edges_sampled;
-                subgraphs.push((sg, s_stats));
-            }
-
-            // Reorder stage (Algorithm 1) over the window's node sets.
-            let node_sets: Vec<Vec<NodeId>> = subgraphs
-                .iter()
-                .map(|(sg, _)| sg.sorted_global_ids())
-                .collect();
-            let order: Vec<usize> = if self.policy.use_reorder && subgraphs.len() > 1 {
-                greedy_reorder(&match_degree_matrix(&node_sets))
-            } else {
-                (0..subgraphs.len()).collect()
-            };
-
-            // Match-load and compute, in the (re)ordered sequence.
-            for &idx in &order {
-                let (sg, s_stats) = &subgraphs[idx];
-                let incoming = &node_sets[idx];
-                let (load, reused) = if self.policy.use_match {
-                    let m = match_load_set(incoming, &resident);
-                    (m.load, m.reused)
-                } else {
-                    (incoming.clone(), 0)
+            |w| {
+                let chunk = &batches[w * window..((w + 1) * window).min(batches.len())];
+                let mut sampled = Vec::with_capacity(chunk.len());
+                for (i, seeds) in chunk.iter().enumerate() {
+                    let mut rng = rng_base.derive((w * window + i) as u64);
+                    let (sg, s_stats) = sampler.sample_batch(graph, seeds, &mut rng);
+                    let timing = sampler.sample_time(&s_stats, &config.system.cost);
+                    sampled.push(SampledBatch {
+                        sg,
+                        stats: s_stats,
+                        timing,
+                    });
+                }
+                sampled
+            },
+            // Reorder stage (Algorithm 1) + Match sets vs the resident
+            // set, which this stage owns and carries window to window.
+            move |_, sampled: Vec<SampledBatch>| {
+                let order: Vec<usize> = {
+                    let sets: Vec<&[NodeId]> =
+                        sampled.iter().map(|b| b.sg.sorted_global_ids()).collect();
+                    if policy.use_reorder && sets.len() > 1 {
+                        greedy_reorder(&match_degree_matrix(&sets))
+                    } else {
+                        (0..sets.len()).collect()
+                    }
                 };
-                let (cache_hits, misses) = cache.partition(&load);
-                io_total += io.load_rows(misses.len() as u64, row_bytes);
-                stats.rows_loaded += misses.len() as u64;
-                stats.rows_reused += reused;
-                stats.rows_cached += cache_hits;
+                let mut slots: Vec<Option<SampledBatch>> = sampled.into_iter().map(Some).collect();
+                let mut prepared = Vec::with_capacity(slots.len());
+                for idx in order {
+                    let batch = slots[idx].take().expect("window index visited once");
+                    let incoming = batch.sg.sorted_global_ids();
+                    let (load, reused) = if policy.use_match {
+                        let m = match_load_set(incoming, &resident);
+                        (m.load, m.reused)
+                    } else {
+                        (incoming.to_vec(), 0)
+                    };
+                    resident = incoming.to_vec();
+                    prepared.push(PreparedBatch {
+                        batch,
+                        load,
+                        reused,
+                    });
+                }
+                prepared
+            },
+            // Feature load + compute, in the (re)ordered sequence. All
+            // accumulation happens here in FIFO window order, so sums (and
+            // their floating-point rounding) match the serial loop
+            // exactly at any prefetch depth.
+            |_, prepared: Vec<PreparedBatch>| {
+                let mut win_sample = SimTime::ZERO;
+                let mut win_train = SimTime::ZERO;
+                for p in prepared {
+                    win_sample += p.batch.timing.total;
+                    stats.id_map_time += p.batch.timing.id_map;
+                    stats.edges_sampled += p.batch.stats.edges_sampled;
 
-                let workloads = census(sg, &dims);
-                let comp = self.compute.batch_time(sg, &workloads);
-                compute_total += comp.time + allreduce;
-                l1_sum += comp.l1_hit_rate;
-                l2_sum += comp.l2_hit_rate;
-                gflops_sum += comp.aggregation_gflops;
+                    let (cache_hits, misses) = cache.partition(&p.load);
+                    let io_time = io.load_rows(misses.len() as u64, row_bytes);
+                    io_total += io_time;
+                    stats.rows_loaded += misses.len() as u64;
+                    stats.rows_reused += p.reused;
+                    stats.rows_cached += cache_hits;
 
-                let est = estimate_batch_memory(
-                    &workloads,
-                    param_bytes,
-                    sg.num_nodes(),
-                    data.spec.feature_dim,
-                    sg.topology_bytes(),
-                    s_stats.id_map.total_ids,
-                    cache.bytes(),
-                );
-                stats.peak_memory_bytes = stats.peak_memory_bytes.max(est.total());
+                    let workloads = census(&p.batch.sg, &dims);
+                    let comp = compute.batch_time(&p.batch.sg, &workloads);
+                    compute_total += comp.time + allreduce;
+                    win_train += io_time + comp.time + allreduce;
+                    l1_sum += comp.l1_hit_rate;
+                    l2_sum += comp.l2_hit_rate;
+                    gflops_sum += comp.aggregation_gflops;
 
-                resident = incoming.clone();
-                stats.iterations += 1;
-            }
-        }
+                    let est = estimate_batch_memory(
+                        &workloads,
+                        param_bytes,
+                        p.batch.sg.num_nodes(),
+                        feature_dim,
+                        p.batch.sg.topology_bytes(),
+                        p.batch.stats.id_map.total_ids,
+                        cache.bytes(),
+                    );
+                    stats.peak_memory_bytes = stats.peak_memory_bytes.max(est.total());
+                    stats.iterations += 1;
+                }
+                sample_total += win_sample;
+                window_sample.push(win_sample);
+                window_train.push(win_train);
+            },
+        );
+        self.last_wall = Some(wall);
 
         // GNNLab's factored design: `sampler_gpus` GPUs sample for all
         // trainers; the latency is hidden behind training unless the
-        // sampling work outruns it (paper Fig. 14d).
+        // sampling work outruns it (paper Fig. 14d). The per-window
+        // pipeline model in `gpusim::overlap` charges the fill plus any
+        // window where sampling outruns training.
         let visible_sample = if self.policy.overlap_sample {
-            roles.visible_sample_time(sample_total, io_total + compute_total)
+            roles.visible_sample_windows(&window_sample, &window_train)
         } else {
             sample_total
         };
@@ -395,6 +474,12 @@ impl FastGl {
     /// The underlying configuration.
     pub fn config(&self) -> &FastGlConfig {
         self.inner.config()
+    }
+
+    /// Wall-clock stage accounting of the most recent epoch's window
+    /// pipeline (`None` before the first epoch).
+    pub fn pipeline_wall_stats(&self) -> Option<PipelineWallStats> {
+        self.inner.pipeline_wall_stats()
     }
 }
 

@@ -153,7 +153,7 @@ pub fn train_with_validation(
                 .map(|seeds| sampler.sample(graph, seeds, &id_map, &mut rng).0)
                 .collect();
             let order: Vec<usize> = if config.reorder && subgraphs.len() > 1 {
-                let sets: Vec<Vec<NodeId>> =
+                let sets: Vec<&[NodeId]> =
                     subgraphs.iter().map(|s| s.sorted_global_ids()).collect();
                 greedy_reorder(&match_degree_matrix(&sets))
             } else {

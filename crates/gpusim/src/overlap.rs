@@ -48,6 +48,31 @@ pub fn overlap_saving(stage1: &[SimTime], stage2: &[SimTime]) -> f64 {
     1.0 - piped / seq
 }
 
+/// Visible (unhidden) time of a producer stage whose item `i + 1` is
+/// produced while item `i` is consumed — the prefetch-depth-1 pipeline of
+/// the classic bound above. Returns the pipelined makespan minus the
+/// consumer's own work: the fill (`producer[0]`) plus every gap where
+/// production outruns consumption.
+///
+/// This is the single overlap model shared by GNNLab's dedicated sampler
+/// GPUs (sampling hidden behind training) and FastGL's pipelined window
+/// prefetch (Fig. 5): both charge only what the consumer cannot hide.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn hidden_stage_visible(producer: &[SimTime], consumer: &[SimTime]) -> SimTime {
+    let consumed: SimTime = consumer.iter().copied().sum();
+    two_stage_pipeline(producer, consumer).saturating_sub(consumed)
+}
+
+/// Steady-state fully-overlapped bound: with unbounded buffering only the
+/// producer's excess over the consumer is ever visible. Lower bound of
+/// [`hidden_stage_visible`] for the same totals.
+pub fn steady_state_visible(producer_total: SimTime, consumer_total: SimTime) -> SimTime {
+    producer_total.saturating_sub(consumer_total)
+}
+
 /// Steady-state throughput bound of a multi-stage pipeline: the epoch is
 /// limited by its slowest stage, `t ≈ Σ_i max_s stage_s[i]` plus the
 /// fill/drain of the other stages (ignored here; exact for long runs).

@@ -173,11 +173,11 @@ impl NeighborSampler {
 
         // Computation runs widest block first: reverse hop order.
         hop_blocks.reverse();
-        let subgraph = SampledSubgraph {
-            nodes: frontier.into_iter().map(NodeId).collect(),
-            seed_locals: (0..seeds.len() as u64).collect(),
-            blocks: hop_blocks,
-        };
+        let subgraph = SampledSubgraph::new(
+            frontier.into_iter().map(NodeId).collect(),
+            hop_blocks,
+            (0..seeds.len() as u64).collect(),
+        );
         fastgl_telemetry::counter_add("sample.nodes_sampled", subgraph.nodes.len() as u64);
         fastgl_telemetry::counter_add("sample.edges_sampled", stats.edges_sampled);
         (subgraph, stats)

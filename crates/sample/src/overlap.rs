@@ -52,17 +52,31 @@ pub fn match_degree(a: &[NodeId], b: &[NodeId]) -> f64 {
     intersection_size(a, b) as f64 / denom as f64
 }
 
+/// Minimum intersection pairs per worker thread of
+/// [`match_degree_matrix`]; each pair is an `O(|V_i| + |V_j|)` merge scan,
+/// so a handful of pairs already amortises a thread spawn.
+pub const MATCH_PAIR_GRAIN: usize = 4;
+
 /// The symmetric match-degree matrix of a window of node sets, with a zero
 /// diagonal (a subgraph is never matched against itself in Algorithm 1).
-pub fn match_degree_matrix(sets: &[Vec<NodeId>]) -> Vec<Vec<f64>> {
+///
+/// The `O(window²)` pairwise sorted-set intersections are independent, so
+/// they run on the shared parallel backend; the matrix is filled from the
+/// per-pair results in a fixed order, making the output bit-identical at
+/// any `FASTGL_THREADS`.
+pub fn match_degree_matrix<S: AsRef<[NodeId]> + Sync>(sets: &[S]) -> Vec<Vec<f64>> {
     let n = sets.len();
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    let degrees =
+        fastgl_tensor::parallel::par_map_collect(&pairs, MATCH_PAIR_GRAIN, |_, &(i, j)| {
+            match_degree(sets[i].as_ref(), sets[j].as_ref())
+        });
     let mut m = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = match_degree(&sets[i], &sets[j]);
-            m[i][j] = d;
-            m[j][i] = d;
-        }
+    for (&(i, j), d) in pairs.iter().zip(degrees) {
+        m[i][j] = d;
+        m[j][i] = d;
     }
     m
 }
@@ -173,6 +187,24 @@ mod tests {
         // Pairs: (0,1)=0.5, (0,2)=1.0, (1,2)=0.5 -> avg 2/3, spread 0.5.
         assert!((s.average - 2.0 / 3.0).abs() < 1e-12);
         assert!((s.spread - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_thread_count_invariant() {
+        // 16 sets -> 120 pairs, enough to cross MATCH_PAIR_GRAIN.
+        let sets: Vec<Vec<NodeId>> = (0..16u64)
+            .map(|i| (0..200).map(|k| NodeId(i * 7 + k * 3)).collect())
+            .collect();
+        fastgl_tensor::parallel::set_num_threads(1);
+        let serial = match_degree_matrix(&sets);
+        for threads in [2usize, 8] {
+            fastgl_tensor::parallel::set_num_threads(threads);
+            assert_eq!(match_degree_matrix(&sets), serial, "{threads} threads");
+        }
+        fastgl_tensor::parallel::set_num_threads(0);
+        // Slices work as inputs too (the memoized subgraph form).
+        let views: Vec<&[NodeId]> = sets.iter().map(Vec::as_slice).collect();
+        assert_eq!(match_degree_matrix(&views), serial);
     }
 
     #[test]

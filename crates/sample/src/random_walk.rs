@@ -100,15 +100,15 @@ impl RandomWalkSampler {
             src_offsets.push(src_locals.len() as u64);
         }
 
-        let subgraph = SampledSubgraph {
-            nodes: out.unique.into_iter().map(NodeId).collect(),
-            blocks: vec![Block {
+        let subgraph = SampledSubgraph::new(
+            out.unique.into_iter().map(NodeId).collect(),
+            vec![Block {
                 dst_locals: (0..num_dst as u64).collect(),
                 src_offsets,
                 src_locals,
             }],
-            seed_locals: (0..num_dst as u64).collect(),
-        };
+            (0..num_dst as u64).collect(),
+        );
         fastgl_telemetry::counter_add("sample.nodes_sampled", subgraph.nodes.len() as u64);
         fastgl_telemetry::counter_add("sample.edges_sampled", stats.edges_sampled);
         (subgraph, stats)

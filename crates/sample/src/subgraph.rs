@@ -12,6 +12,7 @@
 //! one feature row per entry.
 
 use fastgl_graph::NodeId;
+use std::sync::OnceLock;
 
 /// One bipartite layer of a sampled subgraph.
 ///
@@ -80,7 +81,7 @@ impl Block {
 }
 
 /// A fully sampled, ID-mapped mini-batch subgraph.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SampledSubgraph {
     /// Global IDs of every distinct node, indexed by local ID.
     pub nodes: Vec<NodeId>,
@@ -89,9 +90,33 @@ pub struct SampledSubgraph {
     pub blocks: Vec<Block>,
     /// Local IDs of the seed (training) nodes.
     pub seed_locals: Vec<u64>,
+    /// Memoized sorted node set (see [`SampledSubgraph::sorted_global_ids`]);
+    /// computed at most once per subgraph instead of per consuming stage.
+    sorted: OnceLock<Vec<NodeId>>,
 }
 
+impl PartialEq for SampledSubgraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The memo is derived state; equality is over the sampled content.
+        self.nodes == other.nodes
+            && self.blocks == other.blocks
+            && self.seed_locals == other.seed_locals
+    }
+}
+
+impl Eq for SampledSubgraph {}
+
 impl SampledSubgraph {
+    /// Assembles a subgraph from its parts.
+    pub fn new(nodes: Vec<NodeId>, blocks: Vec<Block>, seed_locals: Vec<u64>) -> Self {
+        Self {
+            nodes,
+            blocks,
+            seed_locals,
+            sorted: OnceLock::new(),
+        }
+    }
+
     /// Number of distinct nodes (= feature rows the IO phase must provide).
     pub fn num_nodes(&self) -> u64 {
         self.nodes.len() as u64
@@ -102,12 +127,15 @@ impl SampledSubgraph {
         self.blocks.iter().map(Block::num_edges).sum()
     }
 
-    /// The subgraph's node set as a sorted vector of global IDs, the form
-    /// the Match process consumes.
-    pub fn sorted_global_ids(&self) -> Vec<NodeId> {
-        let mut ids = self.nodes.clone();
-        ids.sort_unstable();
-        ids
+    /// The subgraph's node set as a sorted slice of global IDs, the form
+    /// the Match process consumes. Sorted once on first call and memoized,
+    /// so the Reorder, Match, and cache stages all share one copy.
+    pub fn sorted_global_ids(&self) -> &[NodeId] {
+        self.sorted.get_or_init(|| {
+            let mut ids = self.nodes.clone();
+            ids.sort_unstable();
+            ids
+        })
     }
 
     /// Bytes of feature data this subgraph needs on the device.
@@ -173,11 +201,11 @@ pub fn full_graph_blocks(graph: &fastgl_graph::Csr, num_layers: usize) -> Sample
             src_locals,
         }
     };
-    SampledSubgraph {
-        nodes: graph.nodes().collect(),
-        blocks: (0..num_layers.max(1)).map(|_| make_block()).collect(),
-        seed_locals: (0..n).collect(),
-    }
+    SampledSubgraph::new(
+        graph.nodes().collect(),
+        (0..num_layers.max(1)).map(|_| make_block()).collect(),
+        (0..n).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -188,9 +216,9 @@ mod tests {
         // Nodes: global 10, 20, 30, 40; seeds: local 0 (global 10).
         // Block 0 (wide): dst {0, 1}, srcs {0:[2,3], 1:[3]}.
         // Block 1 (seed): dst {0}, srcs {0:[1]}.
-        SampledSubgraph {
-            nodes: vec![NodeId(10), NodeId(20), NodeId(30), NodeId(40)],
-            blocks: vec![
+        SampledSubgraph::new(
+            vec![NodeId(10), NodeId(20), NodeId(30), NodeId(40)],
+            vec![
                 Block {
                     dst_locals: vec![0, 1],
                     src_offsets: vec![0, 2, 3],
@@ -202,8 +230,8 @@ mod tests {
                     src_locals: vec![1],
                 },
             ],
-            seed_locals: vec![0],
-        }
+            vec![0],
+        )
     }
 
     #[test]

@@ -45,6 +45,7 @@ fn main() {
                 .sample_batch(&data.graph, seeds, &mut rng)
                 .0
                 .sorted_global_ids()
+                .to_vec()
         })
         .collect();
     let summary = summarize_matrix(&match_degree_matrix(&sets));

@@ -109,8 +109,8 @@ fn hotness_ranking_beats_degree_when_seeds_are_skewed() {
     // Fresh traffic from the same band.
     let (sg, _) = engine.sample_batch(&data.graph, &band, &mut rng);
     let load = sg.sorted_global_ids();
-    let (hot_hits, _) = hot_cache.partition(&load);
-    let (deg_hits, _) = deg_cache.partition(&load);
+    let (hot_hits, _) = hot_cache.partition(load);
+    let (deg_hits, _) = deg_cache.partition(load);
     assert!(
         hot_hits > deg_hits,
         "hotness cache {hot_hits} hits vs degree cache {deg_hits}"
