@@ -1,0 +1,10 @@
+//! Benchmarks fault-injection recovery cost (`BENCH_resilience`):
+//! per-fault-class simulated overhead and the cache-pressure degradation
+//! curve, with faulted results asserted bit-identical across pipeline
+//! settings. Set `FASTGL_QUICK=1` for a fast smoke run.
+
+fn main() {
+    let scale = fastgl_bench::BenchScale::from_env();
+    let report = fastgl_bench::experiments::resilience::run(&scale);
+    fastgl_bench::emit::finish(&report);
+}

@@ -19,6 +19,7 @@ pub mod fig14_scalability;
 pub mod fig15_speedup_ablation;
 pub mod fig16_convergence;
 pub mod pipeline_overlap;
+pub mod resilience;
 pub mod tab01_left_memory;
 pub mod tab02_cache_hit;
 pub mod tab03_memory_levels;
@@ -72,6 +73,7 @@ pub fn all() -> Vec<Experiment> {
         ("abl01_reorder_window", abl01_reorder_window::run as _),
         ("abl02_hash_load_factor", abl02_hash_load_factor::run as _),
         ("BENCH_pipeline", pipeline_overlap::run as _),
+        ("BENCH_resilience", resilience::run as _),
     ]
 }
 
@@ -80,7 +82,7 @@ mod tests {
     #[test]
     fn registry_ids_match_modules_and_are_unique() {
         let ids: Vec<&str> = super::all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 23);
+        assert_eq!(ids.len(), 24);
         let set: std::collections::HashSet<&&str> = ids.iter().collect();
         assert_eq!(set.len(), ids.len());
     }

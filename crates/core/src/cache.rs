@@ -5,6 +5,12 @@
 //! cross PCIe. Under power-law degree distributions the hottest nodes are
 //! the high-degree ones — the policy PaGraph uses directly and a close
 //! stand-in for GNNLab's pre-sampling-based hotness estimate.
+//!
+//! The cache remembers its hotness ranking, so under injected
+//! device-memory pressure (`oom@epoch=E` in a
+//! [`crate::resilience::FaultPlan`]) it can shed its *coldest* rows and
+//! keep serving — graceful degradation that shows up as extra PCIe
+//! traffic rather than a crash.
 
 use fastgl_graph::{Csr, NodeId};
 
@@ -28,8 +34,11 @@ use fastgl_graph::{Csr, NodeId};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeatureCache {
-    /// Sorted cached IDs.
+    /// Sorted cached IDs (the membership index).
     cached: Vec<u64>,
+    /// The same IDs in hotness-rank order (hottest first), kept so the
+    /// cache can shrink to a prefix under memory pressure.
+    by_rank: Vec<u64>,
     row_bytes: u64,
 }
 
@@ -38,30 +47,45 @@ impl FeatureCache {
     /// `row_bytes` of features.
     pub fn degree_ordered(graph: &Csr, rows: u64, row_bytes: u64) -> Self {
         let rows = rows.min(graph.num_nodes());
-        let mut cached: Vec<u64> = graph
+        let by_rank: Vec<u64> = graph
             .nodes_by_degree_desc()
             .into_iter()
             .take(rows as usize)
             .map(|n| n.0)
             .collect();
-        cached.sort_unstable();
-        Self { cached, row_bytes }
+        Self::from_rank_order(by_rank, row_bytes)
     }
 
     /// Caches the first `rows` nodes of an explicit ranking (e.g. the
-    /// pre-sampled hotness order GNNLab uses).
+    /// pre-sampled hotness order GNNLab uses); duplicate rank entries
+    /// collapse to their first (hottest) occurrence.
     pub fn from_ranking(ranking: &[NodeId], rows: u64, row_bytes: u64) -> Self {
         let rows = rows.min(ranking.len() as u64) as usize;
-        let mut cached: Vec<u64> = ranking[..rows].iter().map(|n| n.0).collect();
+        let mut seen = std::collections::HashSet::with_capacity(rows);
+        let by_rank: Vec<u64> = ranking[..rows]
+            .iter()
+            .map(|n| n.0)
+            .filter(|id| seen.insert(*id))
+            .collect();
+        Self::from_rank_order(by_rank, row_bytes)
+    }
+
+    /// Builds the membership index over an already-deduplicated rank order.
+    fn from_rank_order(by_rank: Vec<u64>, row_bytes: u64) -> Self {
+        let mut cached = by_rank.clone();
         cached.sort_unstable();
-        cached.dedup();
-        Self { cached, row_bytes }
+        Self {
+            cached,
+            by_rank,
+            row_bytes,
+        }
     }
 
     /// An empty cache.
     pub fn empty() -> Self {
         Self {
             cached: Vec::new(),
+            by_rank: Vec::new(),
             row_bytes: 0,
         }
     }
@@ -79,6 +103,25 @@ impl FeatureCache {
     /// Whether `node`'s features are resident.
     pub fn contains(&self, node: NodeId) -> bool {
         self.cached.binary_search(&node.0).is_ok()
+    }
+
+    /// Sheds the coldest `fraction` of the cache (device-memory pressure
+    /// fallback): keeps the hottest `1 - fraction` of the ranked rows and
+    /// returns the shrunken cache plus the number of rows evicted.
+    /// Evicted rows simply miss from then on — their loads cross PCIe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn evict_fraction(&self, fraction: f64) -> (Self, u64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "evicted fraction {fraction} outside [0, 1]"
+        );
+        let keep = (self.by_rank.len() as f64 * (1.0 - fraction)).floor() as usize;
+        let evicted = (self.by_rank.len() - keep) as u64;
+        let shrunk = Self::from_rank_order(self.by_rank[..keep].to_vec(), self.row_bytes);
+        (shrunk, evicted)
     }
 
     /// Splits a **sorted** load list into `(hits, misses)`: hits are served
@@ -196,5 +239,37 @@ mod tests {
         let (hits, misses) = c.partition(&[]);
         assert_eq!(hits, 0);
         assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn eviction_sheds_coldest_rows_first() {
+        // Star graph ranked by degree: node 0 (hub) is hottest.
+        let c = FeatureCache::degree_ordered(&star(), 5, 8);
+        let (half, evicted) = c.evict_fraction(0.5);
+        assert_eq!(evicted, 3, "floor(5 * 0.5) = 2 kept");
+        assert_eq!(half.rows(), 2);
+        assert!(half.contains(NodeId(0)), "the hub survives pressure");
+        let (none, evicted) = c.evict_fraction(0.0);
+        assert_eq!(evicted, 0);
+        assert_eq!(none, c);
+        let (all, evicted) = c.evict_fraction(1.0);
+        assert_eq!(evicted, 5);
+        assert_eq!(all.rows(), 0);
+    }
+
+    #[test]
+    fn eviction_respects_explicit_ranking() {
+        let ranking = [NodeId(7), NodeId(3), NodeId(1), NodeId(4)];
+        let c = FeatureCache::from_ranking(&ranking, 4, 8);
+        let (shrunk, evicted) = c.evict_fraction(0.5);
+        assert_eq!(evicted, 2);
+        assert!(shrunk.contains(NodeId(7)) && shrunk.contains(NodeId(3)));
+        assert!(!shrunk.contains(NodeId(1)) && !shrunk.contains(NodeId(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn eviction_rejects_bad_fraction() {
+        let _ = FeatureCache::degree_ordered(&star(), 2, 8).evict_fraction(1.5);
     }
 }

@@ -1,5 +1,6 @@
 //! Configuration of the FastGL training pipeline.
 
+use crate::resilience::{FaultPlan, FaultPlanError};
 use fastgl_gnn::ModelKind;
 use fastgl_gpusim::SystemSpec;
 use serde::{Deserialize, Serialize};
@@ -97,6 +98,13 @@ pub struct FastGlConfig {
     /// wall-clock time only — simulated results are bit-identical at any
     /// depth.
     pub prefetch_windows: Option<usize>,
+    /// Deterministic fault-injection plan (see [`crate::resilience`]).
+    /// `None` defers to the `FASTGL_FAULTS` environment variable and then
+    /// to no faults at all. Injected faults degrade the run (extra PCIe
+    /// traffic, retry backoff, shrunken cache) but never abort it, and
+    /// fire at the same simulated positions regardless of
+    /// `FASTGL_THREADS` or `FASTGL_PREFETCH`.
+    pub faults: Option<FaultPlan>,
 }
 
 impl FastGlConfig {
@@ -171,6 +179,29 @@ impl FastGlConfig {
     pub fn with_prefetch_windows(mut self, depth: usize) -> Self {
         self.prefetch_windows = Some(depth);
         self
+    }
+
+    /// Returns the config with an explicit fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The effective fault plan: the explicit setting, else the
+    /// `FASTGL_FAULTS` environment variable, else no faults.
+    ///
+    /// The environment is re-read on every call so tests can vary it
+    /// within one process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError`] when `FASTGL_FAULTS` is set but does not
+    /// parse; the message names the offending entry.
+    pub fn resolved_faults(&self) -> Result<Option<FaultPlan>, FaultPlanError> {
+        if let Some(plan) = &self.faults {
+            return Ok(Some(plan.clone()));
+        }
+        FaultPlan::from_env()
     }
 
     /// The effective prefetch depth: the explicit setting, else the
@@ -263,6 +294,7 @@ impl Default for FastGlConfig {
             threads: None,
             telemetry: None,
             prefetch_windows: None,
+            faults: None,
         }
     }
 }
@@ -363,6 +395,20 @@ mod tests {
             .with_prefetch_windows(0)
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn faults_default_and_builder() {
+        let c = FastGlConfig::default();
+        assert_eq!(c.faults, None);
+        // With no explicit plan and no FASTGL_FAULTS, there are no faults.
+        // (Tests that set the env var live in the resilience suite; the
+        // unit tests here must not mutate process-wide state.)
+        let plan: FaultPlan = "pcie_stall@batch=7".parse().unwrap();
+        let c = c.with_faults(plan.clone());
+        assert_eq!(c.faults, Some(plan.clone()));
+        assert_eq!(c.resolved_faults().unwrap(), Some(plan));
+        c.validate().unwrap();
     }
 
     #[test]

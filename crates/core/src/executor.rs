@@ -36,6 +36,9 @@ pub struct StageWallStats {
     pub stall: Duration,
     /// Windows processed.
     pub items: u64,
+    /// Panicked stage attempts that were replayed (see
+    /// [`PipelineExecutor::with_stage_retries`]).
+    pub replays: u64,
 }
 
 impl StageWallStats {
@@ -110,6 +113,31 @@ fn timed<O>(
     out
 }
 
+/// Like [`timed`], but replays the stage up to `retries` times if it
+/// panics (the in-flight window is re-run from scratch). The final
+/// attempt runs unguarded so an unrecoverable panic still propagates.
+fn timed_replayed<O>(
+    st: &mut StageWallStats,
+    name: &'static str,
+    window: usize,
+    retries: usize,
+    mut f: impl FnMut() -> O,
+) -> O {
+    for _ in 0..retries {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            timed(st, name, window, &mut f)
+        }));
+        match attempt {
+            Ok(out) => return out,
+            Err(_) => {
+                st.replays += 1;
+                fastgl_telemetry::counter_add(fastgl_telemetry::names::STAGE_REPLAYS, 1);
+            }
+        }
+    }
+    timed(st, name, window, &mut f)
+}
+
 /// The three-stage window pipeline.
 ///
 /// `prefetch` is the number of windows each producer stage may run ahead
@@ -119,15 +147,17 @@ fn timed<O>(
 pub struct PipelineExecutor {
     prefetch: usize,
     channel_bound: usize,
+    stage_retries: usize,
 }
 
 impl PipelineExecutor {
     /// An executor with the given prefetch depth; the inter-stage channel
-    /// capacity defaults to `prefetch.max(1)`.
+    /// capacity defaults to `prefetch.max(1)` and no stage replays.
     pub fn new(prefetch: usize) -> Self {
         Self {
             prefetch,
             channel_bound: prefetch.max(1),
+            stage_retries: 0,
         }
     }
 
@@ -139,9 +169,33 @@ impl PipelineExecutor {
         self
     }
 
+    /// Allows the `sample` worker stage to be replayed up to `retries`
+    /// times if it panics: the in-flight window is re-sampled from
+    /// scratch on the same thread, preserving FIFO order — and because
+    /// sampling is a pure function of the window index plus per-batch RNG
+    /// streams, the replay reproduces the lost window bit-for-bit.
+    ///
+    /// `prepare` and `execute` are deliberately *not* replayed: both
+    /// carry state across windows (the Match resident set, the model
+    /// accumulators) that a half-applied panic could leave inconsistent,
+    /// and their inputs are consumed. A panic there is a real bug, not a
+    /// recoverable fault.
+    ///
+    /// Replays are counted in [`StageWallStats::replays`] and the
+    /// `pipeline.stage.replays` telemetry counter.
+    pub fn with_stage_retries(mut self, retries: usize) -> Self {
+        self.stage_retries = retries;
+        self
+    }
+
     /// The configured prefetch depth.
     pub fn prefetch(&self) -> usize {
         self.prefetch
+    }
+
+    /// The configured per-window panic-replay budget of the worker stages.
+    pub fn stage_retries(&self) -> usize {
+        self.stage_retries
     }
 
     /// Runs `windows` items through `sample → prepare → execute`.
@@ -152,7 +206,9 @@ impl PipelineExecutor {
     ///
     /// # Panics
     ///
-    /// Panics from any stage closure propagate to the caller.
+    /// Panics from the `prepare` and `execute` stages always propagate to
+    /// the caller; panics from `sample` propagate once the
+    /// [`with_stage_retries`](Self::with_stage_retries) budget is spent.
     pub fn run<W, P, FS, FP, FE>(
         &self,
         windows: usize,
@@ -173,9 +229,16 @@ impl PipelineExecutor {
             channel_bound: self.channel_bound,
             ..Default::default()
         };
+        let retries = self.stage_retries;
         if self.prefetch == 0 {
             for w in 0..windows {
-                let item = timed(&mut stats.sample, "pipeline.stage.sample", w, || sample(w));
+                let item = timed_replayed(
+                    &mut stats.sample,
+                    "pipeline.stage.sample",
+                    w,
+                    retries,
+                    || sample(w),
+                );
                 let prepared = timed(&mut stats.prepare, "pipeline.stage.prepare", w, || {
                     prepare(w, item)
                 });
@@ -197,7 +260,8 @@ impl PipelineExecutor {
             let sampler = scope.spawn(move || {
                 let mut st = StageWallStats::default();
                 for w in 0..windows {
-                    let item = timed(&mut st, "pipeline.stage.sample", w, || sample(w));
+                    let item =
+                        timed_replayed(&mut st, "pipeline.stage.sample", w, retries, || sample(w));
                     let wait = Instant::now();
                     // A closed channel means a downstream stage panicked;
                     // stop producing and let the join surface the panic.
@@ -378,8 +442,59 @@ mod tests {
             busy: Duration::from_millis(3),
             stall: Duration::from_millis(1),
             items: 1,
+            replays: 0,
         };
         assert!((st.utilization() - 0.75).abs() < 1e-9);
+    }
+
+    /// A sample closure that panics the first `failures` times it sees
+    /// window `at`, then succeeds — like an injected worker panic.
+    fn flaky_sample(at: usize, failures: usize) -> impl FnMut(usize) -> u64 + Send {
+        let mut remaining = failures;
+        move |w| {
+            if w == at && remaining > 0 {
+                remaining -= 1;
+                panic!("injected worker panic at window {w}");
+            }
+            w as u64 * 10
+        }
+    }
+
+    #[test]
+    fn sample_replay_recovers_and_counts() {
+        for depth in [0usize, 2] {
+            let mut seen = Vec::new();
+            let stats = PipelineExecutor::new(depth).with_stage_retries(2).run(
+                6,
+                flaky_sample(3, 1),
+                |w, x| x + w as u64,
+                |w, x| seen.push((w, x)),
+            );
+            assert_eq!(seen, expected(6), "depth {depth}: results unchanged");
+            assert_eq!(stats.sample.replays, 1, "depth {depth}");
+            assert_eq!(stats.sample.items, 6, "only successful windows count");
+        }
+    }
+
+    #[test]
+    fn exhausted_replay_budget_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            PipelineExecutor::new(2).with_stage_retries(1).run(
+                6,
+                flaky_sample(2, 5),
+                |_, x: u64| x,
+                |_, _| (),
+            );
+        });
+        assert!(result.is_err(), "2 attempts cannot absorb 5 failures");
+    }
+
+    #[test]
+    fn zero_retries_is_todays_behaviour() {
+        let result = std::panic::catch_unwind(|| {
+            PipelineExecutor::new(0).run(4, flaky_sample(1, 1), |_, x: u64| x, |_, _| ());
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! every other GPU's loader process), then the buffer crosses PCIe on the
 //! GPU's own link.
 
-use fastgl_gpusim::{PcieEngine, SimTime, SystemSpec};
+use fastgl_gpusim::{
+    FaultedTransfer, PcieEngine, RetryCostModel, SimTime, SystemSpec, TransferFault,
+};
 
 /// Prices feature loads for one GPU of a possibly multi-GPU system.
 #[derive(Debug, Clone)]
@@ -41,6 +43,32 @@ impl IoEngine {
         fastgl_telemetry::counter_add("io.rows_loaded", rows);
         fastgl_telemetry::counter_add("io.bytes_h2d", bytes);
         self.pcie.host_gather_time(bytes) * self.gather_contention + self.pcie.h2d(bytes)
+    }
+
+    /// Like [`load_rows`](Self::load_rows), but the PCIe copy may carry an
+    /// injected [`TransferFault`] (see [`crate::resilience`]): a stall
+    /// multiplies the copy time, a retryable error adds the `model`'s
+    /// backoff and re-sends the wasted partial copies (which are counted
+    /// into the byte ledger as real traffic). [`FaultedTransfer::time`]
+    /// is the total including recovery overhead; with `fault == None` it
+    /// is bit-identical to `load_rows` and the overhead is zero.
+    pub fn load_rows_faulted(
+        &mut self,
+        rows: u64,
+        row_bytes: u64,
+        fault: Option<&TransferFault>,
+        model: &RetryCostModel,
+    ) -> FaultedTransfer {
+        if rows == 0 {
+            return FaultedTransfer::default();
+        }
+        let bytes = rows * row_bytes;
+        fastgl_telemetry::counter_add("io.rows_loaded", rows);
+        fastgl_telemetry::counter_add("io.bytes_h2d", bytes);
+        let gather = self.pcie.host_gather_time(bytes) * self.gather_contention;
+        let mut out = self.pcie.h2d_with_fault(bytes, fault, model);
+        out.time += gather;
+        out
     }
 
     /// Time for a small topology transfer (subgraph CSR); these are
@@ -93,6 +121,67 @@ mod tests {
         assert!(t8 > t1);
         // PCIe copy itself is per-GPU: the slowdown is less than 8x.
         assert!(t8.as_secs_f64() < 8.0 * t1.as_secs_f64());
+    }
+
+    #[test]
+    fn fault_free_faulted_load_matches_load_rows() {
+        let spec = SystemSpec::rtx3090_server(2);
+        let mut a = IoEngine::new(&spec, 2);
+        let mut b = IoEngine::new(&spec, 2);
+        let clean = a.load_rows(5_000, 400);
+        let faulted = b.load_rows_faulted(5_000, 400, None, &RetryCostModel::default());
+        assert_eq!(faulted.time, clean, "bit-identical clean time");
+        assert_eq!(faulted.overhead, SimTime::ZERO);
+        assert_eq!(faulted.retries, 0);
+        assert!(!faulted.stalled);
+        assert_eq!(a.bytes_h2d(), b.bytes_h2d());
+    }
+
+    #[test]
+    fn stall_and_retry_faults_cost_time() {
+        let spec = SystemSpec::rtx3090_server(2);
+        let model = RetryCostModel::default();
+        let mut io = IoEngine::new(&spec, 1);
+        let stalled = io.load_rows_faulted(
+            10_000,
+            400,
+            Some(&TransferFault::Stall { factor: 4.0 }),
+            &model,
+        );
+        assert!(stalled.stalled);
+        assert!(stalled.overhead > SimTime::ZERO);
+        let ledger_after_stall = io.bytes_h2d();
+        assert_eq!(
+            ledger_after_stall,
+            10_000 * 400,
+            "stalls move no extra bytes"
+        );
+
+        let retried = io.load_rows_faulted(
+            10_000,
+            400,
+            Some(&TransferFault::Retryable { failures: 2 }),
+            &model,
+        );
+        assert_eq!(retried.retries, 2);
+        assert!(retried.overhead > SimTime::ZERO);
+        assert!(
+            io.bytes_h2d() > ledger_after_stall + 10_000 * 400,
+            "wasted partial copies are real PCIe traffic"
+        );
+    }
+
+    #[test]
+    fn faulted_zero_rows_free() {
+        let spec = SystemSpec::rtx3090_server(1);
+        let mut io = IoEngine::new(&spec, 1);
+        let out = io.load_rows_faulted(
+            0,
+            400,
+            Some(&TransferFault::Stall { factor: 8.0 }),
+            &RetryCostModel::default(),
+        );
+        assert_eq!(out, FaultedTransfer::default());
     }
 
     #[test]

@@ -17,9 +17,10 @@
 //! paper's Fig. 5; [`pipeline::Pipeline`] exposes the same loop with policy
 //! knobs so the baselines (in `fastgl-baselines`) run on an identical
 //! substrate. [`trainer`] runs *real* numeric training for the convergence
-//! study (Fig. 16).
+//! study (Fig. 16). [`resilience`] adds deterministic fault injection and
+//! checkpoint/resume on top of both (DESIGN.md §10).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod compute;
@@ -31,6 +32,7 @@ pub mod match_reorder;
 pub mod memory_model;
 pub mod multi_gpu;
 pub mod pipeline;
+pub mod resilience;
 pub mod sampler;
 pub mod system;
 pub mod trainer;
@@ -41,4 +43,8 @@ pub use config::{ComputeMode, FastGlConfig, IdMapKind, SampleDevice, SamplerKind
 pub use executor::{PipelineExecutor, PipelineWallStats, StageWallStats};
 pub use hotness::{CacheRankPolicy, HotnessCounter};
 pub use pipeline::{CachePolicy, FastGl, Pipeline, PipelinePolicy};
+pub use resilience::{
+    run_epochs_checkpointed, Checkpoint, CheckpointError, FaultInjector, FaultKind, FaultPlan,
+    FaultPlanError, FaultSpec, ResilienceStats, SimOutcome, SimulationState, TrainerState,
+};
 pub use system::{EpochStats, TrainingSystem};

@@ -23,6 +23,7 @@ use crate::io::IoEngine;
 use crate::match_reorder::{greedy_reorder, match_load_set};
 use crate::memory_model::estimate_batch_memory;
 use crate::multi_gpu::GpuRoles;
+use crate::resilience::{FaultInjector, ResilienceStats};
 use crate::sampler::{SampleTiming, SamplerEngine};
 use crate::system::{EpochStats, TrainingSystem};
 use fastgl_gnn::{census, ModelConfig};
@@ -83,6 +84,8 @@ impl PipelinePolicy {
 
 /// One sampled mini-batch travelling through the window pipeline.
 struct SampledBatch {
+    /// Global batch index within the epoch (fault triggers key off it).
+    index: u64,
     sg: SampledSubgraph,
     stats: SampleStats,
     timing: SampleTiming,
@@ -107,6 +110,11 @@ pub struct Pipeline {
     auto_cache_rows: Option<u64>,
     /// Wall-clock stage accounting of the most recent epoch.
     last_wall: Option<PipelineWallStats>,
+    /// Deterministic fault injection (see [`crate::resilience`]); `None`
+    /// runs fault-free.
+    injector: Option<FaultInjector>,
+    /// Cumulative fault-recovery accounting over the pipeline's lifetime.
+    total_resilience: ResilienceStats,
 }
 
 impl Pipeline {
@@ -114,14 +122,21 @@ impl Pipeline {
     ///
     /// # Panics
     ///
-    /// Panics if `config.validate()` fails or the policy dedicates every
-    /// GPU to sampling.
+    /// Panics if `config.validate()` fails, if the policy dedicates every
+    /// GPU to sampling, or if the `FASTGL_FAULTS` environment variable is
+    /// set but malformed (the message names the offending entry; prefer
+    /// [`crate::FastGlConfig::resolved_faults`] to handle that case as a
+    /// typed error).
     pub fn new(name: &'static str, config: FastGlConfig, policy: PipelinePolicy) -> Self {
         config.validate().expect("invalid pipeline configuration");
         assert!(
             policy.sampler_gpus < config.system.num_gpus,
             "at least one GPU must train"
         );
+        let injector = config
+            .resolved_faults()
+            .unwrap_or_else(|e| panic!("invalid fault plan: {e}"))
+            .map(FaultInjector::new);
         config.apply_threads();
         config.apply_telemetry();
         let compute = ComputeEngine::new(config.system.clone(), config.compute_mode, config.model);
@@ -134,6 +149,8 @@ impl Pipeline {
             sampler,
             auto_cache_rows: None,
             last_wall: None,
+            injector,
+            total_resilience: ResilienceStats::default(),
         }
     }
 
@@ -152,6 +169,14 @@ impl Pipeline {
     /// The pipeline's policy.
     pub fn policy(&self) -> &PipelinePolicy {
         &self.policy
+    }
+
+    /// Cumulative fault-recovery accounting over every epoch this
+    /// pipeline has run (all zero on a fault-free run, and entirely
+    /// absent from [`EpochStats`] so the fault-free statistics stay
+    /// byte-identical with the resilience layer idle).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.total_resilience
     }
 
     fn roles(&self) -> GpuRoles {
@@ -269,6 +294,12 @@ impl TrainingSystem for Pipeline {
             .with_str("system", self.name)
             .with_u64("epoch", epoch);
         self.compute.set_workload_scale(data.spec.scale);
+        // Re-calibrate the memoised hit rates each epoch: the memo must
+        // not leak state across epochs, or `run_epoch` stops being a pure
+        // function of `(data, epoch)` and checkpoint/resume diverges
+        // (DESIGN.md §10). Within the epoch it still traces only once
+        // per layer.
+        self.compute.reset_trace_cache();
         let roles = self.roles();
         let trainer_gpus = roles.trainers;
         let shards = data.split.shard_train(trainer_gpus);
@@ -279,7 +310,19 @@ impl TrainingSystem for Pipeline {
             self.config.seed ^ data.spec.dataset as u64,
             epoch,
         );
-        let cache = self.build_cache(data);
+        let mut cache = self.build_cache(data);
+        let mut res = ResilienceStats::default();
+        if let Some(inj) = &self.injector {
+            // Injected device-memory pressure: shed the coldest rows and
+            // keep going — the lost hits become PCIe loads, visible in
+            // `EpochStats::bytes_h2d` and the IO phase time.
+            if let Some(fraction) = inj.cache_pressure(epoch) {
+                let (shrunk, evicted) = cache.evict_fraction(fraction);
+                cache = shrunk;
+                res.evicted_rows = evicted;
+            }
+        }
+        let cache = cache;
         let model_cfg = self.model_config(data);
         let dims = model_cfg.layer_dims();
         let param_bytes = model_cfg.param_bytes();
@@ -310,7 +353,14 @@ impl TrainingSystem for Pipeline {
         };
         let batches: Vec<&[NodeId]> = plan.iter().collect();
         let num_windows = batches.len().div_ceil(window);
-        let executor = PipelineExecutor::new(self.config.resolved_prefetch());
+        let mut executor = PipelineExecutor::new(self.config.resolved_prefetch());
+        let injector = self.injector.as_ref();
+        let retry_model = injector.map(|i| *i.retry_model()).unwrap_or_default();
+        if injector.is_some() {
+            // Budget for recovering injected worker panics by replaying
+            // the in-flight window (each plan entry fires once per epoch).
+            executor = executor.with_stage_retries(2);
+        }
 
         // Split the `self` borrow across the stages: the sample stage
         // reads the sampler (possibly from a worker thread) while the
@@ -326,13 +376,21 @@ impl TrainingSystem for Pipeline {
             num_windows,
             // Fused-Map Sampler stage: sample the window's mini-batches.
             |w| {
+                if injector.is_some_and(|inj| inj.take_worker_panic(epoch, w as u64)) {
+                    // Simulated stage-worker crash; the executor replays
+                    // this window and the injector's fire-once state lets
+                    // the replay through.
+                    panic!("injected worker panic at window {w} of epoch {epoch}");
+                }
                 let chunk = &batches[w * window..((w + 1) * window).min(batches.len())];
                 let mut sampled = Vec::with_capacity(chunk.len());
                 for (i, seeds) in chunk.iter().enumerate() {
-                    let mut rng = rng_base.derive((w * window + i) as u64);
+                    let index = (w * window + i) as u64;
+                    let mut rng = rng_base.derive(index);
                     let (sg, s_stats) = sampler.sample_batch(graph, seeds, &mut rng);
                     let timing = sampler.sample_time(&s_stats, &config.system.cost);
                     sampled.push(SampledBatch {
+                        index,
                         sg,
                         stats: s_stats,
                         timing,
@@ -385,7 +443,17 @@ impl TrainingSystem for Pipeline {
                     stats.edges_sampled += p.batch.stats.edges_sampled;
 
                     let (cache_hits, misses) = cache.partition(&p.load);
-                    let io_time = io.load_rows(misses.len() as u64, row_bytes);
+                    let fault = injector.and_then(|inj| inj.transfer_fault(p.batch.index));
+                    let ft = io.load_rows_faulted(
+                        misses.len() as u64,
+                        row_bytes,
+                        fault.as_ref(),
+                        &retry_model,
+                    );
+                    let io_time = ft.time;
+                    res.pcie_stalls += ft.stalled as u64;
+                    res.transfer_retries += u64::from(ft.retries);
+                    res.fault_overhead += ft.overhead;
                     io_total += io_time;
                     stats.rows_loaded += misses.len() as u64;
                     stats.rows_reused += p.reused;
@@ -417,6 +485,12 @@ impl TrainingSystem for Pipeline {
             },
         );
         self.last_wall = Some(wall);
+        // The only panics a pipeline run recovers from are injected ones,
+        // so recovered panics == sample-stage replays.
+        res.stage_replays = wall.sample.replays + wall.prepare.replays + wall.execute.replays;
+        res.worker_panics = wall.sample.replays;
+        res.emit_telemetry();
+        self.total_resilience += res;
 
         // GNNLab's factored design: `sampler_gpus` GPUs sample for all
         // trainers; the latency is hidden behind training unless the
@@ -480,6 +554,12 @@ impl FastGl {
     /// pipeline (`None` before the first epoch).
     pub fn pipeline_wall_stats(&self) -> Option<PipelineWallStats> {
         self.inner.pipeline_wall_stats()
+    }
+
+    /// Cumulative fault-recovery accounting over every epoch run so far
+    /// (all zero on a fault-free run; see [`crate::resilience`]).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.inner.resilience_stats()
     }
 }
 
@@ -637,6 +717,46 @@ mod tests {
             s_f.breakdown.sample,
             s_p.breakdown.sample
         );
+    }
+
+    #[test]
+    fn injected_faults_degrade_but_do_not_abort() {
+        let data = small_data();
+        let mut clean = FastGl::new(small_config());
+        let plan = "pcie_stall@batch=1,transfer_error@batch=2:2,oom@epoch=0,worker_panic@window=0"
+            .parse()
+            .unwrap();
+        let mut faulty = FastGl::new(small_config().with_faults(plan));
+        let s_clean = clean.run_epoch(&data, 0);
+        let s_faulty = faulty.run_epoch(&data, 0);
+        let res = faulty.resilience_stats();
+        assert!(res.any());
+        assert_eq!(res.pcie_stalls, 1);
+        assert_eq!(res.transfer_retries, 2);
+        assert_eq!(res.worker_panics, 1, "panic recovered by replay");
+        assert!(res.evicted_rows > 0, "cache shed rows under pressure");
+        assert!(res.fault_overhead > SimTime::ZERO);
+        // Degradation, not divergence: same work, more IO time and bytes.
+        assert_eq!(s_faulty.iterations, s_clean.iterations);
+        assert_eq!(s_faulty.edges_sampled, s_clean.edges_sampled);
+        assert!(s_faulty.breakdown.io > s_clean.breakdown.io);
+        assert!(s_faulty.bytes_h2d > s_clean.bytes_h2d);
+        assert_eq!(clean.resilience_stats(), ResilienceStats::default());
+    }
+
+    #[test]
+    fn faulted_epochs_are_deterministic() {
+        let data = small_data();
+        let plan: crate::resilience::FaultPlan =
+            "pcie_stall@batch=0:2,oom@epoch=1:0.5,worker_panic@window=1"
+                .parse()
+                .unwrap();
+        let mut a = FastGl::new(small_config().with_faults(plan.clone()));
+        let mut b = FastGl::new(small_config().with_faults(plan));
+        for epoch in 0..2 {
+            assert_eq!(a.run_epoch(&data, epoch), b.run_epoch(&data, epoch));
+            assert_eq!(a.resilience_stats(), b.resilience_stats());
+        }
     }
 
     #[test]

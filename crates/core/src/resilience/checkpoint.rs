@@ -1,0 +1,540 @@
+//! Epoch/batch checkpointing with a bit-exact hand-rolled binary codec.
+//!
+//! The workspace's `serde` is an offline marker stand-in (no backend), so
+//! checkpoints use the same style of explicit little-endian binary format
+//! as `fastgl_graph::io`: magic bytes, a version word, then
+//! length-prefixed sections. Floating-point values are stored as raw IEEE
+//! bit patterns (`to_le_bytes`), which is what makes a resumed run
+//! **bit-identical** to an uninterrupted one — no decimal round-trip.
+//!
+//! A checkpoint can carry either or both of:
+//!
+//! * [`TrainerState`] — the numeric trainer's model weights, Adam moments,
+//!   loss trajectories, and batch cursor (mid-epoch, batch-granular);
+//! * [`SimulationState`] — per-epoch [`EpochStats`] of a simulated
+//!   multi-epoch run plus the next epoch to execute (epoch-granular; RNG
+//!   cursors are implicit because every per-batch stream is re-derived
+//!   from the global batch index).
+
+use crate::system::EpochStats;
+use fastgl_gpusim::{PhaseBreakdown, SimTime};
+use fastgl_tensor::{AdamSlotState, AdamState};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the checkpoint format.
+const MAGIC: &[u8; 8] = b"FGLCKPT1";
+/// Format version.
+const VERSION: u32 = 1;
+/// Sanity cap on decoded vector lengths (elements): corrupt length
+/// prefixes must not trigger absurd allocations.
+const MAX_LEN: u64 = 1 << 33;
+
+/// Errors from checkpoint save/load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file is not a FastGL checkpoint, or is truncated/corrupt.
+    BadFormat(String),
+    /// The checkpoint is well-formed but does not fit the run it is being
+    /// resumed into (wrong model shape, epoch count, seed, …).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::BadFormat(msg) => {
+                write!(f, "bad checkpoint format: {msg}")
+            }
+            CheckpointError::Mismatch(msg) => {
+                write!(f, "checkpoint does not match this run: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// The checkpointable state of the numeric trainer
+/// (see [`crate::trainer::train_resumable`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerState {
+    /// The run's master seed (resume validates it matches the config).
+    pub seed: u64,
+    /// Global index of the next batch to execute (`epoch * batches_per_epoch
+    /// + executed_in_epoch`); RNG cursors are implicit in this index.
+    pub next_batch: u64,
+    /// Flat model parameters ([`fastgl_gnn::GnnModel::state`]).
+    pub model: Vec<f32>,
+    /// Adam timestep and moment buffers.
+    pub optimizer: AdamState,
+    /// Loss of every executed iteration so far, in execution order.
+    pub iteration_losses: Vec<f32>,
+    /// Mean loss of every completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Held-out accuracy after every completed epoch.
+    pub val_accuracy: Vec<f64>,
+    /// Running loss sum of the in-flight epoch.
+    pub epoch_loss_sum: f32,
+    /// Batches contributing to `epoch_loss_sum`.
+    pub epoch_batches: u64,
+}
+
+/// The checkpointable state of a simulated multi-epoch run
+/// (see [`crate::resilience::run_epochs_checkpointed`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimulationState {
+    /// The next epoch to simulate.
+    pub next_epoch: u64,
+    /// Statistics of every completed epoch, in order.
+    pub completed: Vec<EpochStats>,
+}
+
+/// A saved training position: everything needed to resume a killed run
+/// and reproduce the uninterrupted run bit-for-bit.
+///
+/// # Examples
+///
+/// In-memory round-trip through the binary codec:
+///
+/// ```
+/// use fastgl_core::resilience::{Checkpoint, SimulationState};
+///
+/// let ckpt = Checkpoint {
+///     trainer: None,
+///     simulation: Some(SimulationState {
+///         next_epoch: 2,
+///         completed: vec![Default::default(); 2],
+///     }),
+/// };
+/// let mut buf = Vec::new();
+/// ckpt.write_to(&mut buf).unwrap();
+/// let back = Checkpoint::read_from(&buf[..]).unwrap();
+/// assert_eq!(back, ckpt);
+/// ```
+///
+/// Truncated files are typed errors, not panics:
+///
+/// ```
+/// use fastgl_core::resilience::{Checkpoint, CheckpointError};
+///
+/// let err = Checkpoint::read_from(&b"FGLCKPT1"[..4]).unwrap_err();
+/// assert!(matches!(err, CheckpointError::BadFormat(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Checkpoint {
+    /// Numeric-trainer state, if the checkpoint came from a trainer run.
+    pub trainer: Option<TrainerState>,
+    /// Simulated-run state, if the checkpoint came from a pipeline run.
+    pub simulation: Option<SimulationState>,
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint to `path` (atomically enough for a crash
+    /// drill: the file is complete when `save` returns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()?;
+        fastgl_telemetry::counter_add(fastgl_telemetry::names::CHECKPOINT_SAVES, 1);
+        Ok(())
+    }
+
+    /// Reads a checkpoint back from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failure and
+    /// [`CheckpointError::BadFormat`] on a truncated or corrupt file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let mut r = BufReader::new(std::fs::File::open(path)?);
+        let ckpt = Self::read_from(&mut r)?;
+        fastgl_telemetry::counter_add(fastgl_telemetry::names::CHECKPOINT_LOADS, 1);
+        Ok(ckpt)
+    }
+
+    /// Serialises into any writer (the codec behind [`save`](Self::save)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on write failure.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), CheckpointError> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        let flags: u8 =
+            u8::from(self.trainer.is_some()) | (u8::from(self.simulation.is_some()) << 1);
+        w.write_all(&[flags])?;
+        if let Some(t) = &self.trainer {
+            write_trainer(w, t)?;
+        }
+        if let Some(s) = &self.simulation {
+            write_simulation(w, s)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialises from any reader (the codec behind [`load`](Self::load)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::BadFormat`] on wrong magic, unsupported
+    /// version, truncation, or implausible section lengths.
+    pub fn read_from<R: Read>(mut r: R) -> Result<Self, CheckpointError> {
+        let mut magic = [0u8; 8];
+        read_exact(&mut r, &mut magic, "magic bytes")?;
+        if &magic != MAGIC {
+            return Err(CheckpointError::BadFormat(format!(
+                "not a FastGL checkpoint (magic {:?})",
+                String::from_utf8_lossy(&magic)
+            )));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(CheckpointError::BadFormat(format!(
+                "unsupported checkpoint version {version} (this build reads {VERSION})"
+            )));
+        }
+        let mut flags = [0u8; 1];
+        read_exact(&mut r, &mut flags, "section flags")?;
+        let trainer = if flags[0] & 1 != 0 {
+            Some(read_trainer(&mut r)?)
+        } else {
+            None
+        };
+        let simulation = if flags[0] & 2 != 0 {
+            Some(read_simulation(&mut r)?)
+        } else {
+            None
+        };
+        Ok(Self {
+            trainer,
+            simulation,
+        })
+    }
+}
+
+fn write_trainer<W: Write>(w: &mut W, t: &TrainerState) -> Result<(), CheckpointError> {
+    w.write_all(&t.seed.to_le_bytes())?;
+    w.write_all(&t.next_batch.to_le_bytes())?;
+    w.write_all(&t.epoch_loss_sum.to_le_bytes())?;
+    w.write_all(&t.epoch_batches.to_le_bytes())?;
+    write_f32s(w, &t.model)?;
+    w.write_all(&t.optimizer.lr.to_le_bytes())?;
+    w.write_all(&t.optimizer.t.to_le_bytes())?;
+    w.write_all(&(t.optimizer.slots.len() as u64).to_le_bytes())?;
+    for slot in &t.optimizer.slots {
+        w.write_all(&slot.slot.to_le_bytes())?;
+        write_f32s(w, &slot.m)?;
+        write_f32s(w, &slot.v)?;
+    }
+    write_f32s(w, &t.iteration_losses)?;
+    write_f32s(w, &t.epoch_losses)?;
+    write_f64s(w, &t.val_accuracy)?;
+    Ok(())
+}
+
+fn read_trainer<R: Read>(r: &mut R) -> Result<TrainerState, CheckpointError> {
+    let seed = read_u64(r)?;
+    let next_batch = read_u64(r)?;
+    let epoch_loss_sum = read_f32(r)?;
+    let epoch_batches = read_u64(r)?;
+    let model = read_f32s(r, "model parameters")?;
+    let lr = read_f32(r)?;
+    let t = read_u64(r)?;
+    let num_slots = read_len(r, "optimizer slots")?;
+    let mut slots = Vec::with_capacity(num_slots.min(1024) as usize);
+    for _ in 0..num_slots {
+        let slot = read_u64(r)?;
+        let m = read_f32s(r, "Adam first moments")?;
+        let v = read_f32s(r, "Adam second moments")?;
+        slots.push(AdamSlotState { slot, m, v });
+    }
+    let iteration_losses = read_f32s(r, "iteration losses")?;
+    let epoch_losses = read_f32s(r, "epoch losses")?;
+    let val_accuracy = read_f64s(r, "validation accuracy")?;
+    Ok(TrainerState {
+        seed,
+        next_batch,
+        model,
+        optimizer: AdamState { lr, t, slots },
+        iteration_losses,
+        epoch_losses,
+        val_accuracy,
+        epoch_loss_sum,
+        epoch_batches,
+    })
+}
+
+fn write_simulation<W: Write>(w: &mut W, s: &SimulationState) -> Result<(), CheckpointError> {
+    w.write_all(&s.next_epoch.to_le_bytes())?;
+    w.write_all(&(s.completed.len() as u64).to_le_bytes())?;
+    for e in &s.completed {
+        for v in [
+            e.breakdown.sample.as_nanos(),
+            e.breakdown.io.as_nanos(),
+            e.breakdown.compute.as_nanos(),
+            e.iterations,
+            e.bytes_h2d,
+            e.rows_loaded,
+            e.rows_reused,
+            e.rows_cached,
+            e.edges_sampled,
+            e.id_map_time.as_nanos(),
+            e.peak_memory_bytes,
+        ] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for v in [e.l1_hit_rate, e.l2_hit_rate, e.aggregation_gflops] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_simulation<R: Read>(r: &mut R) -> Result<SimulationState, CheckpointError> {
+    let next_epoch = read_u64(r)?;
+    let count = read_len(r, "completed epochs")?;
+    let mut completed = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let sample = SimTime::from_nanos(read_u64(r)?);
+        let io = SimTime::from_nanos(read_u64(r)?);
+        let compute = SimTime::from_nanos(read_u64(r)?);
+        let iterations = read_u64(r)?;
+        let bytes_h2d = read_u64(r)?;
+        let rows_loaded = read_u64(r)?;
+        let rows_reused = read_u64(r)?;
+        let rows_cached = read_u64(r)?;
+        let edges_sampled = read_u64(r)?;
+        let id_map_time = SimTime::from_nanos(read_u64(r)?);
+        let peak_memory_bytes = read_u64(r)?;
+        let l1_hit_rate = read_f64(r)?;
+        let l2_hit_rate = read_f64(r)?;
+        let aggregation_gflops = read_f64(r)?;
+        completed.push(EpochStats {
+            breakdown: PhaseBreakdown {
+                sample,
+                io,
+                compute,
+            },
+            iterations,
+            bytes_h2d,
+            rows_loaded,
+            rows_reused,
+            rows_cached,
+            edges_sampled,
+            id_map_time,
+            l1_hit_rate,
+            l2_hit_rate,
+            peak_memory_bytes,
+            aggregation_gflops,
+        });
+    }
+    Ok(SimulationState {
+        next_epoch,
+        completed,
+    })
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<(), CheckpointError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CheckpointError::BadFormat(format!("truncated checkpoint file (while reading {what})"))
+        } else {
+            CheckpointError::Io(e)
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, CheckpointError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b, "a u32 field")?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, CheckpointError> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b, "a u64 field")?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> Result<f32, CheckpointError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b, "an f32 field")?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> Result<f64, CheckpointError> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b, "an f64 field")?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn read_len<R: Read>(r: &mut R, what: &str) -> Result<u64, CheckpointError> {
+    let len = read_u64(r)?;
+    if len > MAX_LEN {
+        return Err(CheckpointError::BadFormat(format!(
+            "implausible length {len} for {what}: the file is corrupt"
+        )));
+    }
+    Ok(len)
+}
+
+fn write_f32s<W: Write>(w: &mut W, values: &[f32]) -> Result<(), CheckpointError> {
+    w.write_all(&(values.len() as u64).to_le_bytes())?;
+    for v in values {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s<R: Read>(r: &mut R, what: &str) -> Result<Vec<f32>, CheckpointError> {
+    let len = read_len(r, what)?;
+    let mut out = Vec::with_capacity(len.min(1 << 24) as usize);
+    for _ in 0..len {
+        out.push(read_f32(r)?);
+    }
+    Ok(out)
+}
+
+fn write_f64s<W: Write>(w: &mut W, values: &[f64]) -> Result<(), CheckpointError> {
+    w.write_all(&(values.len() as u64).to_le_bytes())?;
+    for v in values {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f64s<R: Read>(r: &mut R, what: &str) -> Result<Vec<f64>, CheckpointError> {
+    let len = read_len(r, what)?;
+    let mut out = Vec::with_capacity(len.min(1 << 24) as usize);
+    for _ in 0..len {
+        out.push(read_f64(r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            trainer: Some(TrainerState {
+                seed: 42,
+                next_batch: 17,
+                model: vec![1.5, -2.25, f32::MIN_POSITIVE, 0.1],
+                optimizer: AdamState {
+                    lr: 0.003,
+                    t: 17,
+                    slots: vec![AdamSlotState {
+                        slot: 2,
+                        m: vec![0.25, -0.5],
+                        v: vec![0.125, 0.0625],
+                    }],
+                },
+                iteration_losses: vec![2.0, 1.5, 1.25],
+                epoch_losses: vec![1.583_333_3],
+                val_accuracy: vec![0.75],
+                epoch_loss_sum: 1.25,
+                epoch_batches: 1,
+            }),
+            simulation: Some(SimulationState {
+                next_epoch: 3,
+                completed: vec![
+                    EpochStats {
+                        iterations: 9,
+                        bytes_h2d: 1 << 20,
+                        l1_hit_rate: 0.875,
+                        id_map_time: SimTime::from_micros(13),
+                        ..Default::default()
+                    };
+                    3
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let ckpt = sample_checkpoint();
+        let mut buf = Vec::new();
+        ckpt.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&buf[..]).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fastgl_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ckpt");
+        let ckpt = sample_checkpoint();
+        ckpt.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_bad_format() {
+        let err = Checkpoint::read_from(&b"NOTFASTG\x01\x00\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadFormat(_)));
+        assert!(err.to_string().contains("not a FastGL checkpoint"));
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_graceful() {
+        let ckpt = sample_checkpoint();
+        let mut buf = Vec::new();
+        ckpt.write_to(&mut buf).unwrap();
+        // Every strict prefix must fail with a typed error, never panic.
+        for cut in 0..buf.len() {
+            let err = Checkpoint::read_from(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::BadFormat(_)),
+                "cut at {cut}: {err}"
+            );
+            assert!(err.to_string().contains("truncated"), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn implausible_lengths_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(1); // trainer section present
+        buf.extend_from_slice(&[0u8; 28]); // seed, next_batch, loss sum, batches
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd model length
+        let err = Checkpoint::read_from(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("implausible length"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.push(0);
+        let err = Checkpoint::read_from(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Checkpoint::load("/nonexistent/fastgl.ckpt").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

@@ -56,27 +56,26 @@ impl EpochStats {
             self.rows_loaded as f64 / needed as f64
         }
     }
-}
 
-/// A sampling-based GNN training system.
-pub trait TrainingSystem {
-    /// Display name used in benchmark tables.
-    fn name(&self) -> &'static str;
-
-    /// Simulates one training epoch over `data` and returns its statistics.
-    fn run_epoch(&mut self, data: &DatasetBundle, epoch: u64) -> EpochStats;
-
-    /// Runs `epochs` epochs and returns the average statistics, the way
-    /// the paper reports 20-epoch averages.
-    fn run_epochs(&mut self, data: &DatasetBundle, epochs: u64) -> EpochStats {
-        assert!(epochs > 0, "need at least one epoch");
+    /// Averages per-epoch statistics the way the paper reports multi-epoch
+    /// numbers (peak memory takes the max, everything else the mean).
+    ///
+    /// Accumulation is sequential in slice order, so averaging a prefix
+    /// restored from a checkpoint plus freshly re-run epochs reproduces an
+    /// uninterrupted run's rounding bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` is empty.
+    pub fn average(stats: &[EpochStats]) -> EpochStats {
+        assert!(!stats.is_empty(), "need at least one epoch");
+        let epochs = stats.len() as u64;
         let mut acc = EpochStats::default();
         let mut l1 = 0.0;
         let mut l2 = 0.0;
         let mut gf = 0.0;
         let mut peak = 0u64;
-        for e in 0..epochs {
-            let s = self.run_epoch(data, e);
+        for s in stats {
             acc.breakdown += s.breakdown;
             acc.iterations += s.iterations;
             acc.bytes_h2d += s.bytes_h2d;
@@ -105,6 +104,23 @@ pub trait TrainingSystem {
             peak_memory_bytes: peak,
             aggregation_gflops: gf * inv,
         }
+    }
+}
+
+/// A sampling-based GNN training system.
+pub trait TrainingSystem {
+    /// Display name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Simulates one training epoch over `data` and returns its statistics.
+    fn run_epoch(&mut self, data: &DatasetBundle, epoch: u64) -> EpochStats;
+
+    /// Runs `epochs` epochs and returns the average statistics, the way
+    /// the paper reports 20-epoch averages.
+    fn run_epochs(&mut self, data: &DatasetBundle, epochs: u64) -> EpochStats {
+        assert!(epochs > 0, "need at least one epoch");
+        let stats: Vec<EpochStats> = (0..epochs).map(|e| self.run_epoch(data, e)).collect();
+        EpochStats::average(&stats)
     }
 }
 

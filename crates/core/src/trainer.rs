@@ -8,11 +8,11 @@
 //! with and without reordering so the claim can be verified numerically.
 
 use crate::match_reorder::greedy_reorder;
+use crate::resilience::{Checkpoint, CheckpointError, TrainerState};
 use fastgl_gnn::{GnnModel, ModelConfig, ModelKind};
 use fastgl_graph::{Csr, DeterministicRng, FeatureStore, NodeId};
 use fastgl_sample::overlap::match_degree_matrix;
 use fastgl_sample::{FusedIdMap, MinibatchPlan, NeighborSampler, SampledSubgraph};
-use fastgl_tensor::loss::accuracy;
 use fastgl_tensor::{Adam, Matrix};
 
 /// Configuration of a convergence run.
@@ -62,7 +62,9 @@ pub struct ConvergenceRun {
     pub iteration_losses: Vec<f32>,
     /// Mean loss per epoch.
     pub epoch_losses: Vec<f32>,
-    /// Training accuracy measured after the final epoch.
+    /// Training accuracy of the final model, measured on a re-sample of
+    /// the final epoch's last planned mini-batch (a pure function of the
+    /// trained weights, so checkpointed resumes reproduce it exactly).
     pub final_accuracy: f64,
     /// Held-out accuracy after each epoch (empty when no validation nodes
     /// were supplied).
@@ -108,6 +110,76 @@ pub fn train_with_validation(
     val_nodes: &[NodeId],
     config: &TrainerConfig,
 ) -> ConvergenceRun {
+    match train_resumable(
+        graph,
+        features,
+        labels,
+        train_nodes,
+        val_nodes,
+        config,
+        None,
+        None,
+    ) {
+        Ok(TrainOutcome::Complete(run)) => run,
+        Ok(TrainOutcome::Interrupted(_)) => unreachable!("no halt was requested"),
+        Err(e) => unreachable!("a fresh run resumes nothing: {e}"),
+    }
+}
+
+/// The outcome of a resumable convergence run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainOutcome {
+    /// Training ran to the end; the run is bit-identical to an
+    /// uninterrupted [`train_with_validation`] call.
+    Complete(ConvergenceRun),
+    /// Training halted at the requested batch; pass the checkpoint back
+    /// to [`train_resumable`] to continue.
+    Interrupted(Box<Checkpoint>),
+}
+
+/// The RNG stream of one training mini-batch: derived from the epoch and
+/// the batch's index *in plan order*, never from execution order, thread
+/// schedule, or resume position — the root of the trainer's
+/// determinism-under-replay guarantee.
+fn batch_rng(seed: u64, epoch: u64, batch_in_epoch: u64) -> DeterministicRng {
+    DeterministicRng::seed(seed ^ 0xABCD)
+        .derive(epoch)
+        .derive(batch_in_epoch)
+}
+
+/// [`train_with_validation`], but killable and resumable at mini-batch
+/// granularity.
+///
+/// `halt_after` simulates a kill: training stops before executing global
+/// batch `halt_after` (counting from 0 across all epochs) and returns
+/// [`TrainOutcome::Interrupted`] with a [`Checkpoint`] holding the model
+/// weights, Adam moments, loss trajectories, and the batch cursor. Passing
+/// that checkpoint back via `resume` continues the run and produces final
+/// weights, losses, and accuracies **bit-identical** to an uninterrupted
+/// run: every mini-batch's RNG stream is derived from its plan position
+/// (`batch_rng` internally), so the resumed run re-samples its window and
+/// replays the exact draws and floating-point accumulation order.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Mismatch`] when `resume` has no trainer
+/// section, was trained with a different seed, does not fit this config's
+/// epoch/batch plan, or holds a model of the wrong shape.
+///
+/// # Panics
+///
+/// Same conditions as [`train`].
+#[allow(clippy::too_many_arguments)]
+pub fn train_resumable(
+    graph: &Csr,
+    features: &FeatureStore,
+    labels: &[u32],
+    train_nodes: &[NodeId],
+    val_nodes: &[NodeId],
+    config: &TrainerConfig,
+    resume: Option<&Checkpoint>,
+    halt_after: Option<u64>,
+) -> Result<TrainOutcome, CheckpointError> {
     let feats = features
         .as_slice()
         .expect("convergence training needs materialized features");
@@ -125,10 +197,57 @@ pub fn train_with_validation(
     let sampler = NeighborSampler::new(config.fanouts.clone());
     let id_map = FusedIdMap::new();
 
+    let win = config.window.max(1);
+    // Every epoch shuffles the same node set into the same batch count.
+    let batches_per_epoch = MinibatchPlan::new(train_nodes, config.batch_size, config.seed, 0)
+        .iter()
+        .count() as u64;
+    let total = config.epochs as u64 * batches_per_epoch;
+
     let mut iteration_losses = Vec::new();
     let mut epoch_losses = Vec::new();
     let mut val_accuracy = Vec::new();
-    let mut last_logits_labels: Option<(Matrix, Vec<u32>)> = None;
+    let mut epoch_loss_sum = 0.0f32;
+    let mut epoch_batches = 0u64;
+    let mut next: u64 = 0;
+
+    if let Some(ckpt) = resume {
+        let st = ckpt.trainer.as_ref().ok_or_else(|| {
+            CheckpointError::Mismatch(
+                "checkpoint has no trainer section (was it saved by a simulated run?)".into(),
+            )
+        })?;
+        if st.seed != config.seed {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint was trained with seed {} but this run uses seed {}",
+                st.seed, config.seed
+            )));
+        }
+        if st.next_batch > total {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint cursor at batch {} but this run only has {total} batches \
+                 ({} epochs of {batches_per_epoch})",
+                st.next_batch, config.epochs
+            )));
+        }
+        if st.iteration_losses.len() as u64 != st.next_batch {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint cursor at batch {} but {} iteration losses recorded",
+                st.next_batch,
+                st.iteration_losses.len()
+            )));
+        }
+        model
+            .load_state(&st.model)
+            .map_err(CheckpointError::Mismatch)?;
+        opt.restore(&st.optimizer);
+        iteration_losses = st.iteration_losses.clone();
+        epoch_losses = st.epoch_losses.clone();
+        val_accuracy = st.val_accuracy.clone();
+        epoch_loss_sum = st.epoch_loss_sum;
+        epoch_batches = st.epoch_batches;
+        next = st.next_batch;
+    }
 
     // Gather a subgraph's feature rows (the memory IO phase); runs on the
     // parallel backend above the gather cutoff.
@@ -137,20 +256,27 @@ pub fn train_with_validation(
         Matrix::gather_flat(feats, dim, labels.len(), &idx)
     };
 
-    for epoch in 0..config.epochs {
-        let _epoch_span = fastgl_telemetry::span("trainer.epoch").with_u64("epoch", epoch as u64);
-        let plan = MinibatchPlan::new(train_nodes, config.batch_size, config.seed, epoch as u64);
-        let mut rng = DeterministicRng::seed(config.seed ^ 0xABCD).derive(epoch as u64);
+    while next < total {
+        let epoch = next / batches_per_epoch;
+        let _epoch_span = fastgl_telemetry::span("trainer.epoch").with_u64("epoch", epoch);
+        let plan = MinibatchPlan::new(train_nodes, config.batch_size, config.seed, epoch);
         let batches: Vec<&[NodeId]> = plan.iter().collect();
-        let mut epoch_loss = 0.0f32;
-        let mut count = 0usize;
 
-        for chunk in batches.chunks(config.window.max(1)) {
-            // Sample the window (identical draws whether or not we reorder:
-            // sampling happens before ordering, as in Fig. 5).
+        while next < total && next / batches_per_epoch == epoch {
+            let r = (next % batches_per_epoch) as usize;
+            let start = (r / win) * win;
+            let chunk = &batches[start..(start + win).min(batches.len())];
+            // Sample the whole window even when resuming into its middle:
+            // the reorder below needs every member, and each batch's
+            // stream re-derives from its plan position, so the re-sampled
+            // window is identical to the first time around.
             let subgraphs: Vec<SampledSubgraph> = chunk
                 .iter()
-                .map(|seeds| sampler.sample(graph, seeds, &id_map, &mut rng).0)
+                .enumerate()
+                .map(|(i, seeds)| {
+                    let mut rng = batch_rng(config.seed, epoch, (start + i) as u64);
+                    sampler.sample(graph, seeds, &id_map, &mut rng).0
+                })
                 .collect();
             let order: Vec<usize> = if config.reorder && subgraphs.len() > 1 {
                 let sets: Vec<&[NodeId]> =
@@ -160,7 +286,24 @@ pub fn train_with_validation(
                 (0..subgraphs.len()).collect()
             };
 
-            for &idx in &order {
+            // Skip the window entries an interrupted run already executed.
+            for &idx in order.iter().skip(r - start) {
+                if halt_after.is_some_and(|h| next >= h) {
+                    return Ok(TrainOutcome::Interrupted(Box::new(Checkpoint {
+                        trainer: Some(TrainerState {
+                            seed: config.seed,
+                            next_batch: next,
+                            model: model.state(),
+                            optimizer: opt.state(),
+                            iteration_losses,
+                            epoch_losses,
+                            val_accuracy,
+                            epoch_loss_sum,
+                            epoch_batches,
+                        }),
+                        simulation: None,
+                    })));
+                }
                 let sg = &subgraphs[idx];
                 let _iter_span =
                     fastgl_telemetry::span("trainer.iteration").with_u64("nodes", sg.num_nodes());
@@ -183,17 +326,21 @@ pub fn train_with_validation(
                     model.apply_grads(&mut opt);
                 }
                 iteration_losses.push(out.loss);
-                epoch_loss += out.loss;
-                count += 1;
-                last_logits_labels = Some((logits, batch_labels));
+                epoch_loss_sum += out.loss;
+                epoch_batches += 1;
+                next += 1;
             }
         }
-        epoch_losses.push(epoch_loss / count.max(1) as f32);
+
+        // The inner loop only exits at an epoch boundary (halts return).
+        epoch_losses.push(epoch_loss_sum / epoch_batches.max(1) as f32);
+        epoch_loss_sum = 0.0;
+        epoch_batches = 0;
 
         if !val_nodes.is_empty() {
-            let mut val_rng = DeterministicRng::seed(config.seed ^ 0x7A1).derive(epoch as u64);
+            let mut val_rng = DeterministicRng::seed(config.seed ^ 0x7A1).derive(epoch);
             let mut correct = 0.0;
-            let mut total = 0usize;
+            let mut total_eval = 0usize;
             for seeds in val_nodes.chunks(config.batch_size) {
                 let (sg, _) = sampler.sample(graph, seeds, &id_map, &mut val_rng);
                 let x = gather(&sg);
@@ -204,21 +351,42 @@ pub fn train_with_validation(
                     .collect();
                 let (_, acc) = model.evaluate(&sg, &x, &batch_labels);
                 correct += acc * batch_labels.len() as f64;
-                total += batch_labels.len();
+                total_eval += batch_labels.len();
             }
-            val_accuracy.push(correct / total.max(1) as f64);
+            val_accuracy.push(correct / total_eval.max(1) as f64);
         }
     }
 
-    let final_accuracy = last_logits_labels
-        .map(|(logits, labels)| accuracy(&logits, &labels))
-        .unwrap_or(0.0);
-    ConvergenceRun {
+    // Final training accuracy: evaluate the trained model on a re-sample
+    // of the final epoch's last planned batch. A pure function of the
+    // final weights, so it survives kill/resume unchanged.
+    let final_accuracy = if total == 0 {
+        0.0
+    } else {
+        let last = total - 1;
+        let (epoch, r) = (
+            last / batches_per_epoch,
+            (last % batches_per_epoch) as usize,
+        );
+        let plan = MinibatchPlan::new(train_nodes, config.batch_size, config.seed, epoch);
+        let seeds = plan.iter().nth(r).expect("plan covers its own batch count");
+        let mut rng = batch_rng(config.seed, epoch, r as u64);
+        let (sg, _) = sampler.sample(graph, seeds, &id_map, &mut rng);
+        let x = gather(&sg);
+        let batch_labels: Vec<u32> = sg
+            .seed_locals
+            .iter()
+            .map(|&l| labels[sg.nodes[l as usize].index()])
+            .collect();
+        model.evaluate(&sg, &x, &batch_labels).1
+    };
+
+    Ok(TrainOutcome::Complete(ConvergenceRun {
         iteration_losses,
         epoch_losses,
         final_accuracy,
         val_accuracy,
-    }
+    }))
 }
 
 /// Exact (non-sampled) full-graph accuracy of a trained model: runs the
@@ -404,6 +572,152 @@ mod tests {
             &quick_config(),
         );
         assert!(plain.val_accuracy.is_empty());
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        let d = data();
+        let cfg = TrainerConfig {
+            reorder: true,
+            epochs: 3,
+            ..quick_config()
+        };
+        let train_nodes = nodes(500);
+        let val_nodes: Vec<NodeId> = (600..800).map(NodeId).collect();
+        let full = train_with_validation(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &train_nodes,
+            &val_nodes,
+            &cfg,
+        );
+        // Kill mid-window, mid-epoch (batch 5 of 4-per-epoch windows).
+        let TrainOutcome::Interrupted(ckpt) = train_resumable(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &train_nodes,
+            &val_nodes,
+            &cfg,
+            None,
+            Some(5),
+        )
+        .unwrap() else {
+            panic!("expected an interruption")
+        };
+        assert_eq!(ckpt.trainer.as_ref().unwrap().next_batch, 5);
+        let resumed = train_resumable(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &train_nodes,
+            &val_nodes,
+            &cfg,
+            Some(&ckpt),
+            None,
+        )
+        .unwrap();
+        assert_eq!(resumed, TrainOutcome::Complete(full));
+    }
+
+    #[test]
+    fn mismatched_trainer_checkpoints_are_typed_errors() {
+        let d = data();
+        let cfg = quick_config();
+        let train_nodes = nodes(400);
+        let no_trainer = Checkpoint::default();
+        let err = train_resumable(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &train_nodes,
+            &[],
+            &cfg,
+            Some(&no_trainer),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no trainer section"), "{err}");
+
+        let TrainOutcome::Interrupted(ckpt) = train_resumable(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &train_nodes,
+            &[],
+            &cfg,
+            None,
+            Some(2),
+        )
+        .unwrap() else {
+            panic!("expected an interruption")
+        };
+        let mut wrong_seed = cfg.clone();
+        wrong_seed.seed ^= 1;
+        let err = train_resumable(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &train_nodes,
+            &[],
+            &wrong_seed,
+            Some(&ckpt),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+
+        let mut short = cfg.clone();
+        short.epochs = 0;
+        let err = train_resumable(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &train_nodes,
+            &[],
+            &short,
+            Some(&ckpt),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("batches"), "{err}");
+    }
+
+    #[test]
+    fn halt_at_zero_checkpoints_fresh_state() {
+        let d = data();
+        let cfg = quick_config();
+        let train_nodes = nodes(400);
+        let TrainOutcome::Interrupted(ckpt) = train_resumable(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &train_nodes,
+            &[],
+            &cfg,
+            None,
+            Some(0),
+        )
+        .unwrap() else {
+            panic!("expected an interruption")
+        };
+        let st = ckpt.trainer.as_ref().unwrap();
+        assert_eq!(st.next_batch, 0);
+        assert!(st.iteration_losses.is_empty());
+        let resumed = train_resumable(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &train_nodes,
+            &[],
+            &cfg,
+            Some(&ckpt),
+            None,
+        )
+        .unwrap();
+        let direct = train(&d.graph, &d.features, &d.labels, &train_nodes, &cfg);
+        assert_eq!(resumed, TrainOutcome::Complete(direct));
     }
 
     #[test]

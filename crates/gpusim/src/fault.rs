@@ -1,0 +1,129 @@
+//! Simulated transfer faults and their deterministic recovery cost.
+//!
+//! Production GNN stacks treat PCIe stalls, transient transfer errors, and
+//! device-memory pressure as routine events (BGL, FastSample) rather than
+//! crashes. This module gives the simulated GPU the same vocabulary: a
+//! fault is a *deterministic cost event* attached to a transfer, and its
+//! recovery (retry with backoff, or riding out a stall) is priced in
+//! simulated time by a [`RetryCostModel`] — a pure function of the fault
+//! parameters, so faulted runs reproduce bit-for-bit like everything else
+//! in the simulator.
+//!
+//! The faults are injected from above (see `fastgl_core::resilience`);
+//! this layer only knows how to *price* them and how to account the extra
+//! PCIe traffic they cause.
+
+use crate::timeline::SimTime;
+
+/// A fault affecting one host→device transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferFault {
+    /// The link stalls for `factor` × the transfer's own copy time
+    /// (congestion, link retraining): the transfer succeeds but late.
+    Stall {
+        /// Stall duration as a multiple of the copy time.
+        factor: f64,
+    },
+    /// The transfer fails `failures` times before succeeding; each failed
+    /// attempt wastes part of the copy and waits an exponential backoff.
+    Retryable {
+        /// Number of failed attempts before the transfer goes through.
+        failures: u32,
+    },
+}
+
+/// Deterministic pricing of transfer retries.
+///
+/// Each failed attempt costs `wasted_fraction` of the transfer's copy time
+/// (the partial copy that had to be thrown away) plus a simulated backoff
+/// that doubles per attempt: `backoff × 2^attempt`. No wall clock and no
+/// randomness are involved, so the recovery cost of a given fault is a
+/// pure function of its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryCostModel {
+    /// Base backoff charged before the first retry; doubles each attempt.
+    pub backoff: SimTime,
+    /// Fraction of the copy time (and of the bytes) wasted per failed
+    /// attempt, in `[0, 1]`.
+    pub wasted_fraction: f64,
+}
+
+impl Default for RetryCostModel {
+    /// 10 µs base backoff, half the copy wasted per failed attempt.
+    fn default() -> Self {
+        Self {
+            backoff: SimTime::from_micros(10),
+            wasted_fraction: 0.5,
+        }
+    }
+}
+
+impl RetryCostModel {
+    /// Extra simulated time for `failures` failed attempts of a transfer
+    /// whose clean copy time is `copy`.
+    pub fn overhead(&self, copy: SimTime, failures: u32) -> SimTime {
+        let mut total = SimTime::ZERO;
+        for attempt in 0..failures {
+            total += copy * self.wasted_fraction;
+            total += self.backoff * (1u64 << attempt.min(20)) as f64;
+        }
+        total
+    }
+
+    /// Extra PCIe bytes moved by the wasted partial copies of `failures`
+    /// failed attempts of a `bytes`-sized transfer.
+    pub fn wasted_bytes(&self, bytes: u64, failures: u32) -> u64 {
+        (bytes as f64 * self.wasted_fraction) as u64 * failures as u64
+    }
+}
+
+/// The outcome of a transfer that may have been faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultedTransfer {
+    /// Total simulated time including recovery overhead.
+    pub time: SimTime,
+    /// Recovery overhead alone (zero for a clean transfer).
+    pub overhead: SimTime,
+    /// Failed attempts that were retried.
+    pub retries: u32,
+    /// Whether the transfer rode out a stall.
+    pub stalled: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_zero_without_failures() {
+        let m = RetryCostModel::default();
+        assert_eq!(m.overhead(SimTime::from_millis(1), 0), SimTime::ZERO);
+        assert_eq!(m.wasted_bytes(1 << 20, 0), 0);
+    }
+
+    #[test]
+    fn overhead_grows_superlinearly_with_failures() {
+        let m = RetryCostModel::default();
+        let copy = SimTime::from_millis(1);
+        let one = m.overhead(copy, 1);
+        let three = m.overhead(copy, 3);
+        // Three failures cost more than 3x one failure: the backoff doubles.
+        assert!(three > one * 3.0, "{three} vs 3x {one}");
+    }
+
+    #[test]
+    fn overhead_is_deterministic() {
+        let m = RetryCostModel::default();
+        let copy = SimTime::from_micros(123);
+        assert_eq!(m.overhead(copy, 5), m.overhead(copy, 5));
+    }
+
+    #[test]
+    fn wasted_bytes_track_fraction() {
+        let m = RetryCostModel {
+            backoff: SimTime::from_micros(1),
+            wasted_fraction: 0.25,
+        };
+        assert_eq!(m.wasted_bytes(1000, 2), 500);
+    }
+}

@@ -15,6 +15,8 @@
 //!   L1/L2 hit rates of the aggregation phase (Table 2).
 //! * [`memory`] — device global-memory accounting (Tables 1 and 9).
 //! * [`transfer`] — the PCIe transfer engine (the memory IO phase).
+//! * [`fault`] — simulated transfer faults (stalls, retryable errors) and
+//!   the deterministic retry cost model that prices their recovery.
 //! * [`kernel`] — the kernel cost model: `time = max(memory, compute)` plus
 //!   launch, barrier, and atomic-contention charges.
 //! * [`aggregate`] — trace-driven cost of the SpMM-like aggregation under
@@ -24,10 +26,11 @@
 //! Simulated time is a pure function of counted events; no wall-clock
 //! measurement is involved, so results reproduce bit-for-bit everywhere.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aggregate;
 pub mod cache;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod overlap;
@@ -38,6 +41,7 @@ pub mod transfer;
 
 pub use aggregate::{AggregationCost, AggregationKernel, SubgraphLayerTrace};
 pub use cache::{Cache, CacheConfig, CacheStats};
+pub use fault::{FaultedTransfer, RetryCostModel, TransferFault};
 pub use kernel::{KernelCost, KernelProfile};
 pub use memory::{DeviceMemory, MemoryError};
 pub use roofline::RooflinePoint;

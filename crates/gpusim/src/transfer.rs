@@ -7,6 +7,7 @@
 //! observation (host-side organisation becoming the bottleneck at
 //! Grace-Hopper bandwidths) can be explored too.
 
+use crate::fault::{FaultedTransfer, RetryCostModel, TransferFault};
 use crate::spec::HostSpec;
 use crate::timeline::SimTime;
 
@@ -72,6 +73,46 @@ impl PcieEngine {
     pub fn copy_time(&self, bytes: u64) -> SimTime {
         SimTime::from_nanos(self.spec.pcie_latency_ns)
             + SimTime::from_secs_f64(bytes as f64 / self.effective_bw())
+    }
+
+    /// [`h2d`](Self::h2d) under an optional injected fault: a clean call
+    /// (`fault == None`) is bit-identical to `h2d`, a [`TransferFault::Stall`]
+    /// adds `factor ×` the copy time, and a [`TransferFault::Retryable`]
+    /// charges `model`'s deterministic backoff and accounts the wasted
+    /// partial copies as extra PCIe traffic in the ledger.
+    pub fn h2d_with_fault(
+        &mut self,
+        bytes: u64,
+        fault: Option<&TransferFault>,
+        model: &RetryCostModel,
+    ) -> FaultedTransfer {
+        let time = self.h2d(bytes);
+        match fault {
+            None => FaultedTransfer {
+                time,
+                ..Default::default()
+            },
+            Some(TransferFault::Stall { factor }) => {
+                let overhead = self.copy_time(bytes) * *factor;
+                FaultedTransfer {
+                    time: time + overhead,
+                    overhead,
+                    retries: 0,
+                    stalled: true,
+                }
+            }
+            Some(TransferFault::Retryable { failures }) => {
+                let overhead = model.overhead(self.copy_time(bytes), *failures);
+                self.h2d_bytes += model.wasted_bytes(bytes, *failures);
+                self.transfers += *failures as u64;
+                FaultedTransfer {
+                    time: time + overhead,
+                    overhead,
+                    retries: *failures,
+                    stalled: false,
+                }
+            }
+        }
     }
 
     /// Full memory-IO time for a feature load: host gather followed by the
@@ -177,6 +218,45 @@ mod tests {
         let copy_only = e.copy_time(bytes);
         assert!(load > copy_only);
         assert_eq!(e.h2d_total(), bytes);
+    }
+
+    #[test]
+    fn clean_faulted_transfer_matches_h2d() {
+        let mut a = engine();
+        let mut b = engine();
+        let t = a.h2d(1 << 20);
+        let ft = b.h2d_with_fault(1 << 20, None, &RetryCostModel::default());
+        assert_eq!(ft.time, t);
+        assert_eq!(ft.overhead, SimTime::ZERO);
+        assert_eq!(a.h2d_total(), b.h2d_total());
+    }
+
+    #[test]
+    fn stall_delays_without_extra_bytes() {
+        let mut e = engine();
+        let clean = e.copy_time(1 << 20);
+        let ft = e.h2d_with_fault(
+            1 << 20,
+            Some(&TransferFault::Stall { factor: 4.0 }),
+            &RetryCostModel::default(),
+        );
+        assert!(ft.stalled);
+        assert_eq!(ft.overhead, clean * 4.0);
+        assert_eq!(e.h2d_total(), 1 << 20, "stalls move no extra bytes");
+    }
+
+    #[test]
+    fn retries_charge_backoff_and_wasted_bytes() {
+        let mut e = engine();
+        let ft = e.h2d_with_fault(
+            1000,
+            Some(&TransferFault::Retryable { failures: 2 }),
+            &RetryCostModel::default(),
+        );
+        assert_eq!(ft.retries, 2);
+        assert!(ft.overhead > SimTime::ZERO);
+        assert_eq!(e.h2d_total(), 2000, "two half-copies wasted");
+        assert_eq!(e.transfer_count(), 3, "one success + two failures");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!
 //! # Two timelines
 //!
-//! Wall-clock spans ([`span`]) measure real host execution. Simulated-time
+//! Wall-clock spans ([`span()`]) measure real host execution. Simulated-time
 //! spans ([`record_sim_phases`]) bridge the simulator's `SimTime` /
 //! `PhaseBreakdown` accounting onto a second track of the same trace, so a
 //! chrome-trace export shows host work and the simulated GPU's phase
@@ -49,10 +49,11 @@
 //! telemetry::set_enabled(false);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod export;
 pub mod metrics;
+pub mod names;
 pub mod span;
 
 pub use metrics::{counter_add, observe, Histogram};

@@ -1,0 +1,34 @@
+//! Stable metric names shared between the emitting crates and consumers
+//! of the exported `telemetry.json` / chrome trace.
+//!
+//! Fault-injection and recovery events are operational signals: CI and
+//! dashboards grep for them by name, so the names live here as constants
+//! instead of string literals scattered through `fastgl-core`. All of
+//! them are **counters** whose totals are deterministic — faults are
+//! injected by a deterministic plan, so the same run produces the same
+//! counts at any `FASTGL_THREADS` / `FASTGL_PREFETCH` setting.
+
+/// Injected PCIe stalls ridden out by the memory-IO engine.
+pub const FAULT_PCIE_STALLS: &str = "resilience.pcie_stalls";
+
+/// Failed transfer attempts that were retried with simulated backoff.
+pub const FAULT_TRANSFER_RETRIES: &str = "resilience.transfer_retries";
+
+/// Simulated nanoseconds of fault-recovery overhead (stall time plus
+/// retry backoff and wasted partial copies).
+pub const FAULT_OVERHEAD_NS: &str = "resilience.fault_overhead_ns";
+
+/// Feature-cache rows evicted under injected device-memory pressure.
+pub const CACHE_EVICTED_ROWS: &str = "resilience.cache_evicted_rows";
+
+/// Injected stage-worker panics recovered by replaying the window.
+pub const WORKER_PANICS: &str = "resilience.worker_panics";
+
+/// Pipeline stage restarts (each replays the in-flight window).
+pub const STAGE_REPLAYS: &str = "pipeline.stage.replays";
+
+/// Checkpoints written by `Checkpoint::save`.
+pub const CHECKPOINT_SAVES: &str = "resilience.checkpoint_saves";
+
+/// Checkpoints read back by `Checkpoint::load`.
+pub const CHECKPOINT_LOADS: &str = "resilience.checkpoint_loads";

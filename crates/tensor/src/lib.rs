@@ -27,4 +27,4 @@ pub mod optim;
 pub mod parallel;
 
 pub use matrix::Matrix;
-pub use optim::{Adam, ClipNorm, Optimizer, Sgd, StepDecay};
+pub use optim::{Adam, AdamSlotState, AdamState, ClipNorm, Optimizer, Sgd, StepDecay};
