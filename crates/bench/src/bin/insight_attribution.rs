@@ -1,0 +1,9 @@
+//! Regenerates the `INSIGHT_attribution` report (critical-path and
+//! memory-hierarchy attribution of a FastGL run) and writes its CSV/JSON
+//! artifacts to `results/`. Set `FASTGL_QUICK=1` for a fast smoke run.
+
+fn main() {
+    let scale = fastgl_bench::BenchScale::from_env();
+    let report = fastgl_bench::experiments::insight_attrib::run(&scale);
+    fastgl_bench::emit::finish(&report);
+}

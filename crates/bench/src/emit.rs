@@ -3,28 +3,48 @@
 //! run's spans/counters into `results/telemetry/` next to the data they
 //! explain.
 
-use crate::report::{Report, Table};
+use crate::report::{Provenance, Report, Table};
 use fastgl_telemetry::Snapshot;
-use std::path::Path;
+use std::path::PathBuf;
 
-/// Where experiment tables land.
+/// Where experiment tables land by default (see [`results_dir`]).
 pub const RESULTS_DIR: &str = "results";
 
-/// Where telemetry artifacts land.
+/// Where telemetry artifacts land by default (see [`telemetry_dir`]).
 pub const TELEMETRY_DIR: &str = "results/telemetry";
 
-/// Prints the report and writes `results/<id>_<i>.csv` plus
-/// `results/<id>.json`; then exports this run's telemetry (if enabled)
-/// under `results/telemetry/<id>.{trace,telemetry}.json`. Write failures
-/// warn on stderr rather than aborting the run — the printed report is
-/// the primary artifact.
+/// The effective results directory: `FASTGL_RESULTS_DIR` when set (CI's
+/// perfdiff gate redirects fresh runs there, away from the committed
+/// baselines), [`RESULTS_DIR`] otherwise.
+pub fn results_dir() -> PathBuf {
+    std::env::var("FASTGL_RESULTS_DIR")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map_or_else(|| PathBuf::from(RESULTS_DIR), PathBuf::from)
+}
+
+/// The effective telemetry directory: `<results_dir()>/telemetry`.
+pub fn telemetry_dir() -> PathBuf {
+    results_dir().join("telemetry")
+}
+
+/// Prints the report, stamps it with the run's [`Provenance`], and writes
+/// `results/<id>_<i>.csv` plus `results/<id>.json`; then exports this
+/// run's telemetry (if enabled) under
+/// `results/telemetry/<id>.{trace,telemetry}.json`. Write failures warn
+/// on stderr rather than aborting the run — the printed report is the
+/// primary artifact.
 pub fn finish(report: &Report) {
     print!("{}", report.to_text());
-    let results = Path::new(RESULTS_DIR);
-    if let Err(e) = report.write_csv(results) {
+    let mut stamped = report.clone();
+    if stamped.provenance.is_none() {
+        stamped.provenance = Some(Provenance::current());
+    }
+    let results = results_dir();
+    if let Err(e) = stamped.write_csv(&results) {
         eprintln!("warning: could not write CSVs for {}: {e}", report.id);
     }
-    if let Err(e) = report.write_json(results) {
+    if let Err(e) = stamped.write_json(&results) {
         eprintln!("warning: could not write JSON for {}: {e}", report.id);
     }
     export_telemetry(&report.id);
@@ -39,7 +59,7 @@ pub fn export_telemetry(stem: &str) {
         return;
     }
     let snap = fastgl_telemetry::drain();
-    match fastgl_telemetry::export::write_to_dir(&snap, Path::new(TELEMETRY_DIR), stem) {
+    match fastgl_telemetry::export::write_to_dir(&snap, &telemetry_dir(), stem) {
         Ok((trace, perf)) => {
             for t in telemetry_tables(&snap) {
                 print!("{}", t.to_text());
@@ -107,6 +127,7 @@ pub fn telemetry_tables(snap: &Snapshot) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
     use std::sync::Mutex;
 
     /// Serializes tests that flip the global telemetry state.
@@ -139,6 +160,28 @@ mod tests {
     fn telemetry_tables_empty_when_nothing_recorded() {
         let snap = Snapshot::default();
         assert!(telemetry_tables(&snap).is_empty());
+    }
+
+    #[test]
+    fn finish_stamps_provenance_and_honours_results_dir_override() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("fastgl_emit_override_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("FASTGL_RESULTS_DIR", &dir);
+        let mut report = Report::new("emit_test", "results-dir override demo");
+        report.tables.push({
+            let mut t = Table::new("T", &["k", "v"]);
+            t.push_row(vec!["a".into(), "1".into()]);
+            t
+        });
+        finish(&report);
+        std::env::remove_var("FASTGL_RESULTS_DIR");
+        let json = std::fs::read_to_string(dir.join("emit_test.json"))
+            .expect("finish wrote into the overridden directory");
+        assert!(json.contains("\"provenance\":{\"profile\":"));
+        assert!(dir.join("emit_test_0.csv").exists());
+        assert_eq!(results_dir(), Path::new(RESULTS_DIR).to_path_buf());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

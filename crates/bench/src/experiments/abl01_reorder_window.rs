@@ -26,7 +26,7 @@ pub fn run(scale: &BenchScale) -> Report {
             "epoch IO",
             "rows loaded",
             "rows reused",
-            "harness reorder time",
+            "harness reorder time (wall)",
         ],
     );
     for window in [2usize, 4, 8, 16, 32] {

@@ -18,6 +18,7 @@ pub mod fig13_sample_time;
 pub mod fig14_scalability;
 pub mod fig15_speedup_ablation;
 pub mod fig16_convergence;
+pub mod insight_attrib;
 pub mod pipeline_overlap;
 pub mod resilience;
 pub mod tab01_left_memory;
@@ -74,6 +75,7 @@ pub fn all() -> Vec<Experiment> {
         ("abl02_hash_load_factor", abl02_hash_load_factor::run as _),
         ("BENCH_pipeline", pipeline_overlap::run as _),
         ("BENCH_resilience", resilience::run as _),
+        ("INSIGHT_attribution", insight_attrib::run as _),
     ]
 }
 
@@ -82,7 +84,7 @@ mod tests {
     #[test]
     fn registry_ids_match_modules_and_are_unique() {
         let ids: Vec<&str> = super::all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 24);
+        assert_eq!(ids.len(), 25);
         let set: std::collections::HashSet<&&str> = ids.iter().collect();
         assert_eq!(set.len(), ids.len());
     }

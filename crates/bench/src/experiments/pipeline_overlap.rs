@@ -18,7 +18,7 @@ fn stage_cell(st: StageWallStats) -> String {
     format!(
         "{} / {}",
         fmt_secs(st.busy.as_secs_f64()),
-        fmt_secs(st.stall.as_secs_f64())
+        fmt_secs(st.stall().as_secs_f64())
     )
 }
 
@@ -34,7 +34,7 @@ pub fn run(scale: &BenchScale) -> Report {
         &[
             "prefetch",
             "wall epoch time",
-            "speedup vs serial",
+            "wall speedup vs serial",
             "simulated total",
             "sample busy/stall",
             "prepare busy/stall",

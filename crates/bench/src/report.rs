@@ -138,6 +138,76 @@ impl Table {
     }
 }
 
+/// The run conditions a report was produced under, stamped into the JSON
+/// export so `perfdiff` can refuse apples-to-oranges comparisons (see
+/// DESIGN.md §11). Everything is recorded as the *effective* setting the
+/// run saw, environment overrides included.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Provenance {
+    /// Scale profile: `"quick"` (`FASTGL_QUICK=1`) or `"default"`.
+    pub profile: String,
+    /// `FASTGL_THREADS` override, or `"auto"` when unset.
+    pub threads: String,
+    /// `FASTGL_PREFETCH` override, or `"default"` when unset.
+    pub prefetch: String,
+    /// Whether telemetry was recording during the run.
+    pub telemetry: bool,
+    /// Abbreviated git revision of the producing tree, when available.
+    pub git: Option<String>,
+}
+
+impl Provenance {
+    /// Captures the current process environment.
+    pub fn current() -> Self {
+        let env_or = |key: &str, default: &str| {
+            std::env::var(key)
+                .ok()
+                .filter(|v| !v.is_empty())
+                .unwrap_or_else(|| default.to_string())
+        };
+        let quick = std::env::var("FASTGL_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        Self {
+            profile: if quick { "quick" } else { "default" }.to_string(),
+            threads: env_or("FASTGL_THREADS", "auto"),
+            prefetch: env_or("FASTGL_PREFETCH", "default"),
+            telemetry: fastgl_telemetry::enabled(),
+            git: git_revision(),
+        }
+    }
+
+    /// Renders the stamp as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"profile\":\"{}\",\"threads\":\"{}\",\"prefetch\":\"{}\",\
+             \"telemetry\":{},\"git\":{}}}",
+            json_esc(&self.profile),
+            json_esc(&self.threads),
+            json_esc(&self.prefetch),
+            self.telemetry,
+            match &self.git {
+                Some(rev) => format!("\"{}\"", json_esc(rev)),
+                None => "null".to_string(),
+            }
+        )
+    }
+}
+
+/// The producing tree's abbreviated git revision, or `None` outside a
+/// repository (or without git on PATH).
+fn git_revision() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!rev.is_empty()).then_some(rev)
+}
+
 /// A full experiment report: id, description, and one or more tables.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Report {
@@ -149,6 +219,10 @@ pub struct Report {
     pub notes: Vec<String>,
     /// The tables.
     pub tables: Vec<Table>,
+    /// Run-condition stamp, filled in by `emit::finish` just before the
+    /// JSON export. `None` until then (and absent from the JSON if a
+    /// report is exported without finishing).
+    pub provenance: Option<Provenance>,
 }
 
 impl Report {
@@ -159,6 +233,7 @@ impl Report {
             description: description.into(),
             notes: Vec::new(),
             tables: Vec::new(),
+            provenance: None,
         }
     }
 
@@ -200,12 +275,17 @@ impl Report {
     /// of every figure/table without parsing CSV filenames.
     pub fn to_json(&self) -> String {
         let tables: Vec<String> = self.tables.iter().map(Table::to_json).collect();
+        let provenance = match &self.provenance {
+            Some(p) => format!(",\"provenance\":{}", p.to_json()),
+            None => String::new(),
+        };
         format!(
-            "{{\"id\":\"{}\",\"description\":\"{}\",\"notes\":{},\"tables\":[{}]}}\n",
+            "{{\"id\":\"{}\",\"description\":\"{}\",\"notes\":{},\"tables\":[{}]{}}}\n",
             json_esc(&self.id),
             json_esc(&self.description),
             json_str_array(&self.notes),
-            tables.join(",")
+            tables.join(","),
+            provenance
         )
     }
 
@@ -332,6 +412,43 @@ mod tests {
         assert!(content.contains("\"notes\":[\"shape holds\"]"));
         assert!(content.contains("\"headers\":[\"name\",\"value\"]"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn provenance_stamps_into_the_json_export() {
+        let mut r = Report::new("tp", "provenance demo");
+        r.tables.push(table());
+        assert!(
+            !r.to_json().contains("\"provenance\":"),
+            "unstamped reports carry no provenance key"
+        );
+        r.provenance = Some(Provenance {
+            profile: "quick".into(),
+            threads: "8".into(),
+            prefetch: "default".into(),
+            telemetry: false,
+            git: None,
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"provenance\":{\"profile\":\"quick\""));
+        assert!(j.contains("\"threads\":\"8\""));
+        assert!(j.contains("\"telemetry\":false"));
+        assert!(j.contains("\"git\":null"));
+        let with_git = Provenance {
+            git: Some("abc1234".into()),
+            ..Provenance::default()
+        };
+        assert!(with_git.to_json().contains("\"git\":\"abc1234\""));
+    }
+
+    #[test]
+    fn provenance_current_reflects_the_environment() {
+        // The test harness runs from the repo, so a revision resolves;
+        // profile is one of the two known names either way.
+        let p = Provenance::current();
+        assert!(p.profile == "quick" || p.profile == "default");
+        assert!(!p.threads.is_empty());
+        assert!(!p.prefetch.is_empty());
     }
 
     #[test]

@@ -146,6 +146,10 @@ impl ComputeEngine {
                 }
             };
 
+            // Fold the kernel's memory-hierarchy taxonomy into the global
+            // counters so fastgl-insight can attribute bytes per level.
+            agg.profile.emit_telemetry();
+
             // Attention models do extra per-edge work (scores, softmax);
             // charge the aggregation 1.5x for GAT.
             let gat_factor = if self.model == ModelKind::Gat {

@@ -28,12 +28,20 @@ use std::sync::mpsc::sync_channel;
 use std::time::{Duration, Instant};
 
 /// Wall-clock accounting of one pipeline stage.
+///
+/// Stall time is split by *direction* so the critical-path analysis in
+/// `fastgl-insight` can attribute it: a stage blocked receiving is
+/// **starved** (its upstream neighbour is the bottleneck), a stage
+/// blocked sending is under **backpressure** (its downstream neighbour
+/// is).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageWallStats {
     /// Time spent inside the stage closure (useful work).
     pub busy: Duration,
-    /// Time spent blocked on the neighbouring channels (send + recv).
-    pub stall: Duration,
+    /// Time spent starved, blocked receiving from the upstream channel.
+    pub stall_in: Duration,
+    /// Time spent under backpressure, blocked sending downstream.
+    pub stall_out: Duration,
     /// Windows processed.
     pub items: u64,
     /// Panicked stage attempts that were replayed (see
@@ -42,10 +50,16 @@ pub struct StageWallStats {
 }
 
 impl StageWallStats {
+    /// Total time blocked on the neighbouring channels (starved +
+    /// backpressured).
+    pub fn stall(&self) -> Duration {
+        self.stall_in + self.stall_out
+    }
+
     /// Fraction of the stage's wall time that was useful work, in
     /// `[0, 1]`; `1.0` for a stage that never ran.
     pub fn utilization(&self) -> f64 {
-        let total = self.busy + self.stall;
+        let total = self.busy + self.stall();
         if total.is_zero() {
             return 1.0;
         }
@@ -75,25 +89,30 @@ impl PipelineWallStats {
     /// count and scheduling, and counter totals are pinned invariant
     /// across `FASTGL_THREADS` by the telemetry test suite.
     pub fn emit_telemetry(&self) {
-        for (name_busy, name_stall, st) in [
+        use fastgl_telemetry::names;
+        for (name_busy, name_in, name_out, st) in [
             (
-                "pipeline.sample.busy_ns",
-                "pipeline.sample.stall_ns",
+                names::PIPELINE_SAMPLE_BUSY_NS,
+                names::PIPELINE_SAMPLE_STALL_IN_NS,
+                names::PIPELINE_SAMPLE_STALL_OUT_NS,
                 &self.sample,
             ),
             (
-                "pipeline.prepare.busy_ns",
-                "pipeline.prepare.stall_ns",
+                names::PIPELINE_PREPARE_BUSY_NS,
+                names::PIPELINE_PREPARE_STALL_IN_NS,
+                names::PIPELINE_PREPARE_STALL_OUT_NS,
                 &self.prepare,
             ),
             (
-                "pipeline.execute.busy_ns",
-                "pipeline.execute.stall_ns",
+                names::PIPELINE_EXECUTE_BUSY_NS,
+                names::PIPELINE_EXECUTE_STALL_IN_NS,
+                names::PIPELINE_EXECUTE_STALL_OUT_NS,
                 &self.execute,
             ),
         ] {
             fastgl_telemetry::observe(name_busy, st.busy.as_nanos() as u64);
-            fastgl_telemetry::observe(name_stall, st.stall.as_nanos() as u64);
+            fastgl_telemetry::observe(name_in, st.stall_in.as_nanos() as u64);
+            fastgl_telemetry::observe(name_out, st.stall_out.as_nanos() as u64);
         }
     }
 }
@@ -223,7 +242,7 @@ impl PipelineExecutor {
         FP: FnMut(usize, W) -> P + Send,
         FE: FnMut(usize, P),
     {
-        fastgl_telemetry::counter_add("pipeline.windows", windows as u64);
+        fastgl_telemetry::counter_add(fastgl_telemetry::names::PIPELINE_WINDOWS, windows as u64);
         let mut stats = PipelineWallStats {
             prefetch: self.prefetch,
             channel_bound: self.channel_bound,
@@ -268,7 +287,7 @@ impl PipelineExecutor {
                     if tx_sampled.send((w, item)).is_err() {
                         break;
                     }
-                    st.stall += wait.elapsed();
+                    st.stall_out += wait.elapsed();
                 }
                 st
             });
@@ -280,13 +299,13 @@ impl PipelineExecutor {
                     let Ok((w, item)) = rx_sampled.recv() else {
                         break;
                     };
-                    st.stall += wait.elapsed();
+                    st.stall_in += wait.elapsed();
                     let prepared = timed(&mut st, "pipeline.stage.prepare", w, || prepare(w, item));
                     let wait = Instant::now();
                     if tx_prepared.send((w, prepared)).is_err() {
                         break;
                     }
-                    st.stall += wait.elapsed();
+                    st.stall_out += wait.elapsed();
                 }
                 st
             });
@@ -296,7 +315,7 @@ impl PipelineExecutor {
                 let Ok((w, prepared)) = rx_prepared.recv() else {
                     break;
                 };
-                stats.execute.stall += wait.elapsed();
+                stats.execute.stall_in += wait.elapsed();
                 timed(&mut stats.execute, "pipeline.stage.execute", w, || {
                     execute(w, prepared)
                 });
@@ -440,11 +459,18 @@ mod tests {
         assert_eq!(st.utilization(), 1.0);
         let st = StageWallStats {
             busy: Duration::from_millis(3),
-            stall: Duration::from_millis(1),
+            stall_in: Duration::from_millis(1),
+            stall_out: Duration::ZERO,
             items: 1,
             replays: 0,
         };
         assert!((st.utilization() - 0.75).abs() < 1e-9);
+        let st = StageWallStats {
+            stall_out: Duration::from_millis(2),
+            ..st
+        };
+        assert_eq!(st.stall(), Duration::from_millis(3));
+        assert!((st.utilization() - 0.5).abs() < 1e-9);
     }
 
     /// A sample closure that panics the first `failures` times it sees

@@ -34,6 +34,7 @@ pub mod multi_gpu;
 pub mod pipeline;
 pub mod resilience;
 pub mod sampler;
+pub mod stage_trace;
 pub mod system;
 pub mod trainer;
 
@@ -47,4 +48,5 @@ pub use resilience::{
     run_epochs_checkpointed, Checkpoint, CheckpointError, FaultInjector, FaultKind, FaultPlan,
     FaultPlanError, FaultSpec, ResilienceStats, SimOutcome, SimulationState, TrainerState,
 };
+pub use stage_trace::{EpochWindowTrace, WindowPhases};
 pub use system::{EpochStats, TrainingSystem};

@@ -96,6 +96,42 @@ impl GpuRoles {
         let produced: Vec<SimTime> = sample.iter().map(|&s| s * ratio).collect();
         overlap::hidden_stage_visible(&produced, train)
     }
+
+    /// Per-window decomposition of [`Self::visible_sample_windows`]: entry
+    /// `w` is the sampling time of window `w` that the overlap model leaves
+    /// on the critical path. The identity `max(p, c) - c = p ∸ c` (truncated
+    /// subtraction, exact on nanosecond integers) splits the aggregate bound
+    /// window by window — the fill (`produced[0]`) charges to window 0 and
+    /// each later window charges only its production excess over the
+    /// preceding window's training — so the entries sum to the aggregate
+    /// **exactly**, which `fastgl-insight`'s attribution relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn visible_sample_per_window(&self, sample: &[SimTime], train: &[SimTime]) -> Vec<SimTime> {
+        assert_eq!(
+            sample.len(),
+            train.len(),
+            "pipeline stages must cover the same items"
+        );
+        if self.samplers == 0 {
+            return sample.to_vec();
+        }
+        let ratio = self.trainers as f64 / self.samplers as f64;
+        sample
+            .iter()
+            .enumerate()
+            .map(|(w, &s)| {
+                let produced = s * ratio;
+                if w == 0 {
+                    produced
+                } else {
+                    produced.saturating_sub(train[w - 1])
+                }
+            })
+            .collect()
+    }
 }
 
 /// Expected parallel speedup of an epoch whose solo breakdown is
@@ -178,6 +214,51 @@ mod tests {
         let windows = r.visible_sample_windows(&slow, &train);
         let steady = r.visible_sample_time(t(2_400), t(1_500));
         assert!(windows >= steady);
+    }
+
+    #[test]
+    fn per_window_decomposition_sums_exactly_to_the_aggregate() {
+        // Irregular, tie-heavy inputs across several role splits: the
+        // per-window entries must reproduce the aggregate bound to the
+        // nanosecond, including the float producer scaling.
+        for (gpus, samplers) in [(2usize, 1usize), (8, 2), (8, 3), (4, 0)] {
+            let r = GpuRoles::new(gpus, samplers);
+            let sample: Vec<SimTime> = (0..17).map(|i| t(37 * (i % 5) + i)).collect();
+            let train: Vec<SimTime> = (0..17).map(|i| t(120 - 6 * (i % 9))).collect();
+            let per = r.visible_sample_per_window(&sample, &train);
+            assert_eq!(per.len(), sample.len());
+            let sum: SimTime = per.iter().copied().sum();
+            assert_eq!(
+                sum,
+                r.visible_sample_windows(&sample, &train),
+                "roles {gpus}/{samplers}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_window_fill_and_excess_land_on_the_right_windows() {
+        let r = GpuRoles::new(2, 1);
+        let sample = [t(100), t(100), t(100)];
+        let train = [t(500), t(500), t(500)];
+        // Sampler keeps up: only window 0 (the fill) is charged.
+        assert_eq!(
+            r.visible_sample_per_window(&sample, &train),
+            vec![t(100), SimTime::ZERO, SimTime::ZERO]
+        );
+        // Sampler falls behind: fill plus per-window excess.
+        let slow = [t(800), t(800), t(800)];
+        assert_eq!(
+            r.visible_sample_per_window(&slow, &train),
+            vec![t(800), t(300), t(300)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn per_window_mismatched_lengths_panic() {
+        let r = GpuRoles::new(2, 1);
+        let _ = r.visible_sample_per_window(&[t(1)], &[]);
     }
 
     #[test]

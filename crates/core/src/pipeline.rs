@@ -25,6 +25,7 @@ use crate::memory_model::estimate_batch_memory;
 use crate::multi_gpu::GpuRoles;
 use crate::resilience::{FaultInjector, ResilienceStats};
 use crate::sampler::{SampleTiming, SamplerEngine};
+use crate::stage_trace::{EpochWindowTrace, WindowPhases};
 use crate::system::{EpochStats, TrainingSystem};
 use fastgl_gnn::{census, ModelConfig};
 use fastgl_gpusim::{PhaseBreakdown, SimTime};
@@ -110,6 +111,8 @@ pub struct Pipeline {
     auto_cache_rows: Option<u64>,
     /// Wall-clock stage accounting of the most recent epoch.
     last_wall: Option<PipelineWallStats>,
+    /// Per-window simulated stage timings of the most recent epoch.
+    last_trace: Option<EpochWindowTrace>,
     /// Deterministic fault injection (see [`crate::resilience`]); `None`
     /// runs fault-free.
     injector: Option<FaultInjector>,
@@ -149,6 +152,7 @@ impl Pipeline {
             sampler,
             auto_cache_rows: None,
             last_wall: None,
+            last_trace: None,
             injector,
             total_resilience: ResilienceStats::default(),
         }
@@ -164,6 +168,13 @@ impl Pipeline {
     /// prefetch depth never changes simulated results.
     pub fn pipeline_wall_stats(&self) -> Option<PipelineWallStats> {
         self.last_wall
+    }
+
+    /// Per-window simulated stage timings of the most recent epoch
+    /// (`None` before the first epoch). Deterministic: identical at any
+    /// thread count or prefetch depth, unlike the wall-clock stats.
+    pub fn window_trace(&self) -> Option<&EpochWindowTrace> {
+        self.last_trace.as_ref()
     }
 
     /// The pipeline's policy.
@@ -344,7 +355,8 @@ impl TrainingSystem for Pipeline {
         let mut l2_sum = 0.0;
         let mut gflops_sum = 0.0;
         let mut window_sample: Vec<SimTime> = Vec::new();
-        let mut window_train: Vec<SimTime> = Vec::new();
+        let mut window_io: Vec<SimTime> = Vec::new();
+        let mut window_compute: Vec<SimTime> = Vec::new();
 
         let window = if self.policy.use_reorder {
             self.config.reorder_window.max(2)
@@ -436,7 +448,8 @@ impl TrainingSystem for Pipeline {
             // exactly at any prefetch depth.
             |_, prepared: Vec<PreparedBatch>| {
                 let mut win_sample = SimTime::ZERO;
-                let mut win_train = SimTime::ZERO;
+                let mut win_io = SimTime::ZERO;
+                let mut win_compute = SimTime::ZERO;
                 for p in prepared {
                     win_sample += p.batch.timing.total;
                     stats.id_map_time += p.batch.timing.id_map;
@@ -462,7 +475,8 @@ impl TrainingSystem for Pipeline {
                     let workloads = census(&p.batch.sg, &dims);
                     let comp = compute.batch_time(&p.batch.sg, &workloads);
                     compute_total += comp.time + allreduce;
-                    win_train += io_time + comp.time + allreduce;
+                    win_io += io_time;
+                    win_compute += comp.time + allreduce;
                     l1_sum += comp.l1_hit_rate;
                     l2_sum += comp.l2_hit_rate;
                     gflops_sum += comp.aggregation_gflops;
@@ -481,7 +495,8 @@ impl TrainingSystem for Pipeline {
                 }
                 sample_total += win_sample;
                 window_sample.push(win_sample);
-                window_train.push(win_train);
+                window_io.push(win_io);
+                window_compute.push(win_compute);
             },
         );
         self.last_wall = Some(wall);
@@ -496,12 +511,38 @@ impl TrainingSystem for Pipeline {
         // trainers; the latency is hidden behind training unless the
         // sampling work outruns it (paper Fig. 14d). The per-window
         // pipeline model in `gpusim::overlap` charges the fill plus any
-        // window where sampling outruns training.
+        // window where sampling outruns training. The per-window split
+        // sums to the aggregate exactly, so the breakdown and the stage
+        // trace below agree to the nanosecond.
+        let window_train: Vec<SimTime> = window_io
+            .iter()
+            .zip(&window_compute)
+            .map(|(&io_t, &c)| io_t + c)
+            .collect();
+        let visible_per_window = if self.policy.overlap_sample {
+            roles.visible_sample_per_window(&window_sample, &window_train)
+        } else {
+            window_sample.clone()
+        };
         let visible_sample = if self.policy.overlap_sample {
             roles.visible_sample_windows(&window_sample, &window_train)
         } else {
             sample_total
         };
+        self.last_trace = Some(EpochWindowTrace {
+            windows: window_sample
+                .iter()
+                .zip(&visible_per_window)
+                .zip(window_io.iter().zip(&window_compute))
+                .map(|((&sample, &visible), (&io_t, &comp))| WindowPhases {
+                    sample,
+                    visible_sample: visible,
+                    io: io_t,
+                    compute: comp,
+                })
+                .collect(),
+            overlap_sample: self.policy.overlap_sample,
+        });
 
         stats.breakdown = PhaseBreakdown {
             sample: visible_sample,
@@ -516,9 +557,22 @@ impl TrainingSystem for Pipeline {
             stats.aggregation_gflops = gflops_sum * inv;
         }
         stats.breakdown.emit_telemetry(self.name);
-        fastgl_telemetry::counter_add("pipeline.iterations", stats.iterations);
-        fastgl_telemetry::counter_add("pipeline.rows_reused", stats.rows_reused);
-        fastgl_telemetry::counter_add("pipeline.rows_cached", stats.rows_cached);
+        {
+            use fastgl_telemetry::names;
+            fastgl_telemetry::counter_add(names::PIPELINE_ITERATIONS, stats.iterations);
+            fastgl_telemetry::counter_add(names::PIPELINE_ROWS_REUSED, stats.rows_reused);
+            fastgl_telemetry::counter_add(names::PIPELINE_ROWS_CACHED, stats.rows_cached);
+            // PCIe bytes the Match-Reorder reuse and the feature cache
+            // avoided, for the memory-hierarchy attribution report.
+            fastgl_telemetry::counter_add(
+                names::PIPELINE_BYTES_REUSE_SAVED,
+                stats.rows_reused * row_bytes,
+            );
+            fastgl_telemetry::counter_add(
+                names::PIPELINE_BYTES_CACHE_SAVED,
+                stats.rows_cached * row_bytes,
+            );
+        }
         stats
     }
 }
@@ -554,6 +608,12 @@ impl FastGl {
     /// pipeline (`None` before the first epoch).
     pub fn pipeline_wall_stats(&self) -> Option<PipelineWallStats> {
         self.inner.pipeline_wall_stats()
+    }
+
+    /// Per-window simulated stage timings of the most recent epoch
+    /// (`None` before the first epoch).
+    pub fn window_trace(&self) -> Option<&EpochWindowTrace> {
+        self.inner.window_trace()
     }
 
     /// Cumulative fault-recovery accounting over every epoch run so far
@@ -690,6 +750,45 @@ mod tests {
         let mut sys = FastGl::new(cfg);
         let s = sys.run_epoch(&data, 0);
         assert_eq!(s.rows_cached, 0);
+    }
+
+    #[test]
+    fn window_trace_reproduces_the_breakdown_exactly() {
+        let data = small_data();
+        let mut sys = FastGl::new(small_config());
+        let s = sys.run_epoch(&data, 0);
+        let trace = sys.window_trace().expect("trace after an epoch").clone();
+        assert!(!trace.is_empty());
+        assert_eq!(
+            trace.visible_breakdown(),
+            s.breakdown,
+            "per-window attribution must sum to the epoch breakdown"
+        );
+        assert_eq!(trace.visible_total(), s.total());
+        assert!(!trace.overlap_sample);
+        assert_eq!(trace.hidden_sample(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn overlapped_window_trace_still_sums_exactly() {
+        let data = small_data();
+        let policy = PipelinePolicy {
+            use_match: false,
+            use_reorder: false,
+            cache: CachePolicy::None,
+            sampler_gpus: 1,
+            overlap_sample: true,
+            cache_rank: crate::hotness::CacheRankPolicy::Degree,
+        };
+        let mut sys = Pipeline::new("factored", small_config(), policy);
+        let s = sys.run_epoch(&data, 0);
+        let trace = sys.window_trace().unwrap();
+        assert!(trace.overlap_sample);
+        assert_eq!(trace.visible_breakdown(), s.breakdown);
+        assert!(
+            trace.hidden_sample() > SimTime::ZERO,
+            "the dedicated sampler must hide some sampling"
+        );
     }
 
     #[test]

@@ -54,6 +54,22 @@ impl KernelProfile {
         self.bytes_shared + self.bytes_l1 + self.bytes_l2 + self.bytes_global
     }
 
+    /// Reports the profile's per-level byte taxonomy into the process
+    /// telemetry as `gpusim.*` counters (a no-op when telemetry is
+    /// disabled). Increments are pure event counts from the simulated
+    /// workload, so the totals stay bit-identical at any thread count —
+    /// `fastgl-insight` folds them into the paper-style memory-hierarchy
+    /// attribution.
+    pub fn emit_telemetry(&self) {
+        use fastgl_telemetry::{counter_add, names};
+        counter_add(names::GPUSIM_FLOPS, self.flops);
+        counter_add(names::GPUSIM_BYTES_SHARED, self.bytes_shared);
+        counter_add(names::GPUSIM_BYTES_L1, self.bytes_l1);
+        counter_add(names::GPUSIM_BYTES_L2, self.bytes_l2);
+        counter_add(names::GPUSIM_BYTES_GLOBAL, self.bytes_global);
+        counter_add(names::GPUSIM_KERNEL_LAUNCHES, self.launches);
+    }
+
     /// Evaluates the profile against a device and calibration constants.
     pub fn cost(&self, device: &DeviceSpec, params: &CostParams) -> KernelCost {
         let mem = self.bytes_shared as f64 / device.bw_shared
@@ -303,6 +319,35 @@ mod tests {
         let b = sm_occupancy(&d, 128, 1 << 14);
         let c = sm_occupancy(&d, 128, 1 << 16);
         assert!(a >= b && b >= c, "{a} {b} {c}");
+    }
+
+    #[test]
+    fn emit_telemetry_accumulates_the_byte_taxonomy() {
+        let _guard = crate::test_sync::TELEMETRY_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        fastgl_telemetry::set_enabled(true);
+        fastgl_telemetry::reset();
+        let p = KernelProfile {
+            flops: 100,
+            bytes_shared: 10,
+            bytes_l1: 20,
+            bytes_l2: 30,
+            bytes_global: 40,
+            launches: 1,
+            ..Default::default()
+        };
+        p.emit_telemetry();
+        p.emit_telemetry();
+        let snap = fastgl_telemetry::drain();
+        fastgl_telemetry::set_enabled(false);
+        use fastgl_telemetry::names;
+        assert_eq!(snap.counters[names::GPUSIM_FLOPS], 200);
+        assert_eq!(snap.counters[names::GPUSIM_BYTES_SHARED], 20);
+        assert_eq!(snap.counters[names::GPUSIM_BYTES_L1], 40);
+        assert_eq!(snap.counters[names::GPUSIM_BYTES_L2], 60);
+        assert_eq!(snap.counters[names::GPUSIM_BYTES_GLOBAL], 80);
+        assert_eq!(snap.counters[names::GPUSIM_KERNEL_LAUNCHES], 2);
     }
 
     #[test]

@@ -48,3 +48,12 @@ pub use roofline::RooflinePoint;
 pub use spec::{CostParams, DeviceSpec, HostSpec, SystemSpec};
 pub use timeline::{PhaseBreakdown, SimTime};
 pub use transfer::PcieEngine;
+
+#[cfg(test)]
+pub(crate) mod test_sync {
+    use std::sync::Mutex;
+
+    /// Serializes the crate's tests that toggle the process-global
+    /// telemetry state (cargo runs unit tests in parallel threads).
+    pub(crate) static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+}

@@ -297,6 +297,9 @@ mod tests {
 
     #[test]
     fn emit_telemetry_reproduces_phase_totals() {
+        let _guard = crate::test_sync::TELEMETRY_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         fastgl_telemetry::set_enabled(true);
         fastgl_telemetry::reset();
         let b = PhaseBreakdown {

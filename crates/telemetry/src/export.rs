@@ -151,13 +151,16 @@ pub fn to_json(snapshot: &Snapshot) -> String {
         let _ = write!(
             out,
             "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
-             \"mean\": {}, \"buckets\": [{}]}}",
+             \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [{}]}}",
             esc(name),
             h.count,
             h.sum,
             if h.count == 0 { 0 } else { h.min },
             h.max,
             num(h.mean()),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
             buckets.join(", ")
         );
     }
@@ -289,13 +292,25 @@ pub fn summary(snapshot: &Snapshot) -> String {
                     h.count.to_string(),
                     format!("{:.1}", h.mean()),
                     if h.count == 0 { 0 } else { h.min }.to_string(),
+                    h.quantile(0.50).to_string(),
+                    h.quantile(0.95).to_string(),
+                    h.quantile(0.99).to_string(),
                     h.max.to_string(),
                 ]
             })
             .collect();
         out.push_str(&text_table(
             "Histograms",
-            &["histogram", "count", "mean", "min", "max"],
+            &[
+                "histogram",
+                "count",
+                "mean",
+                "min",
+                "p50",
+                "p95",
+                "p99",
+                "max",
+            ],
             &rows,
         ));
         out.push('\n');
@@ -449,6 +464,11 @@ mod tests {
             assert!(json.contains("\"alpha\""));
             assert!(json.contains("\"bytes\": 4096"));
             assert!(json.contains("\"latency_ns\""));
+            // Quantile summaries ride along with the aggregate stats; a
+            // single observation pins all three to the exact value.
+            assert!(json.contains("\"p50\": 1234"));
+            assert!(json.contains("\"p95\": 1234"));
+            assert!(json.contains("\"p99\": 1234"));
             assert!(json.contains("\"sample\": 100"));
             assert!(json.contains("\"io\": 200"));
             assert!(json.contains("\"compute\": 300"));

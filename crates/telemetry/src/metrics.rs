@@ -91,6 +91,29 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) of the recorded distribution.
+    ///
+    /// Returns the lower bound of the log2 bucket holding the
+    /// `ceil(q * count)`-th smallest observation, clamped into
+    /// `[min, max]`. The log2 buckets bound the estimate's error to one
+    /// octave; the clamp makes single-bucket histograms exact. Returns 0
+    /// when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, _) = Self::bucket_range(i);
+                return lo.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
 }
 
 #[derive(Default)]
@@ -258,5 +281,56 @@ mod tests {
     #[test]
     fn empty_histogram_mean_is_zero() {
         assert_eq!(Histogram::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_on_a_known_distribution() {
+        // 100 observations: 50 × 4, 40 × 64, 10 × 4096. Powers of two sit
+        // exactly on their bucket's lower bound, so the estimates are exact.
+        let mut h = Histogram::default();
+        for _ in 0..50 {
+            h.record(4);
+        }
+        for _ in 0..40 {
+            h.record(64);
+        }
+        for _ in 0..10 {
+            h.record(4096);
+        }
+        assert_eq!(h.quantile(0.50), 4, "rank 50 is the last 4");
+        assert_eq!(h.quantile(0.51), 64, "rank 51 is the first 64");
+        assert_eq!(h.quantile(0.90), 64, "rank 90 is the last 64");
+        assert_eq!(h.quantile(0.95), 4096);
+        assert_eq!(h.quantile(0.99), 4096);
+        assert_eq!(h.quantile(0.0), 4, "rank clamps to the first value");
+        assert_eq!(h.quantile(1.0), 4096);
+    }
+
+    #[test]
+    fn quantile_clamps_into_observed_range() {
+        // A single observation that is not a power of two: the bucket
+        // lower bound (512) is below min, so the clamp recovers the exact
+        // value.
+        let mut h = Histogram::default();
+        h.record(1000);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1000);
+        }
+        // Monotonicity over a mixed distribution.
+        let mut m = Histogram::default();
+        for v in [0u64, 1, 5, 9, 17, 200, 3000, 70_000] {
+            m.record(v);
+        }
+        let qs: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+            .iter()
+            .map(|&q| m.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "monotone: {qs:?}");
+        assert!(qs.iter().all(|&v| v <= m.max));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::default().quantile(0.5), 0);
     }
 }

@@ -1,0 +1,398 @@
+//! Schema validation of the chrome-trace exporter, replacing the old CI
+//! shell step: generate a trace through the public API, parse it with a
+//! real (if small) JSON parser, and assert the conventions downstream
+//! tooling relies on — event phases, pid/tid assignment, metadata, and
+//! proper span nesting per thread.
+
+use fastgl_telemetry as telemetry;
+use telemetry::export::{chrome_trace, SIM_PID, WALL_PID};
+
+// -------------------------------------------------------------------
+// Minimal JSON parser (the crate is dependency-free by design, so the
+// test brings its own). Parses into a Value tree; panics on malformed
+// input, which is itself a schema failure.
+// -------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    fn as_num(&self) -> f64 {
+        match self {
+            Value::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn as_arr(&self) -> &[Value] {
+        match self {
+            Value::Arr(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}
+
+fn parse(input: &str) -> Value {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos);
+    skip_ws(bytes, &mut pos);
+    assert_eq!(pos, bytes.len(), "trailing content after JSON value");
+    v
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Value {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Value::Obj(fields);
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos) {
+                    Value::Str(s) => s,
+                    other => panic!("object key must be a string, got {other:?}"),
+                };
+                skip_ws(b, pos);
+                assert_eq!(b.get(*pos), Some(&b':'), "expected ':'");
+                *pos += 1;
+                let val = parse_value(b, pos);
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Value::Obj(fields);
+                    }
+                    other => panic!("expected ',' or '}}', got {other:?}"),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Value::Arr(items);
+            }
+            loop {
+                items.push(parse_value(b, pos));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Value::Arr(items);
+                    }
+                    other => panic!("expected ',' or ']', got {other:?}"),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Value::Str(s);
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'u') => {
+                                let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5]).unwrap();
+                                let code = u32::from_str_radix(hex, 16).expect("bad \\u escape");
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            other => panic!("bad escape {other:?}"),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Multi-byte UTF-8 sequences pass through verbatim.
+                        let len = match c {
+                            0x00..=0x7f => 1,
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        s.push_str(std::str::from_utf8(&b[*pos..*pos + len]).unwrap());
+                        *pos += len;
+                    }
+                    None => panic!("unterminated string"),
+                }
+            }
+        }
+        Some(b't') => {
+            assert_eq!(&b[*pos..*pos + 4], b"true");
+            *pos += 4;
+            Value::Bool(true)
+        }
+        Some(b'f') => {
+            assert_eq!(&b[*pos..*pos + 5], b"false");
+            *pos += 5;
+            Value::Bool(false)
+        }
+        Some(b'n') => {
+            assert_eq!(&b[*pos..*pos + 4], b"null");
+            *pos += 4;
+            Value::Null
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len() && (b[*pos].is_ascii_digit() || b"+-.eE".contains(&b[*pos])) {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+            Value::Num(text.parse().expect("bad number"))
+        }
+        None => panic!("unexpected end of JSON"),
+    }
+}
+
+// -------------------------------------------------------------------
+// Trace generation: a deterministic span structure over several threads
+// plus a bridged simulated breakdown, exactly the shape a pipelined run
+// produces.
+// -------------------------------------------------------------------
+
+/// One complete X event as parsed from the trace.
+struct Span {
+    name: String,
+    pid: u64,
+    tid: u64,
+    ts: f64,
+    dur: f64,
+}
+
+fn generate_trace() -> String {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    {
+        let _epoch = telemetry::span("epoch").with_u64("epoch", 0);
+        std::thread::scope(|scope| {
+            for w in 0..3u64 {
+                scope.spawn(move || {
+                    let _outer = telemetry::span("pipeline.stage.sample").with_u64("window", w);
+                    let _inner = telemetry::span("sample.hop");
+                });
+            }
+        });
+        let _exec = telemetry::span("pipeline.stage.execute").with_u64("window", 0);
+    }
+    telemetry::record_sim_phases(
+        "epoch 0",
+        &[("sample", 1_000), ("io", 2_000), ("compute", 500)],
+    );
+    let trace = chrome_trace(&telemetry::snapshot());
+    telemetry::reset();
+    telemetry::set_enabled(false);
+    trace
+}
+
+#[test]
+fn chrome_trace_schema_holds() {
+    let trace = generate_trace();
+    let root = parse(&trace);
+
+    let events = root
+        .get("traceEvents")
+        .expect("top-level traceEvents array")
+        .as_arr();
+    assert!(!events.is_empty());
+
+    let mut spans: Vec<Span> = Vec::new();
+    let mut process_names: Vec<(u64, String)> = Vec::new();
+    let mut thread_names: Vec<(u64, u64, String)> = Vec::new();
+
+    for e in events {
+        let ph = e.get("ph").expect("every event has ph").as_str();
+        let pid = e.get("pid").expect("every event has pid").as_num() as u64;
+        let tid = e.get("tid").expect("every event has tid").as_num() as u64;
+        match ph {
+            "M" => {
+                let what = e.get("name").unwrap().as_str();
+                let arg = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .expect("metadata args.name")
+                    .as_str()
+                    .to_string();
+                match what {
+                    "process_name" => process_names.push((pid, arg)),
+                    "thread_name" => thread_names.push((pid, tid, arg)),
+                    other => panic!("unexpected metadata record {other}"),
+                }
+            }
+            "X" => {
+                let cat = e.get("cat").expect("X events carry a category").as_str();
+                assert_eq!(
+                    cat,
+                    if pid == WALL_PID { "wall" } else { "sim" },
+                    "category matches the track"
+                );
+                spans.push(Span {
+                    name: e.get("name").unwrap().as_str().to_string(),
+                    pid,
+                    tid,
+                    ts: e.get("ts").unwrap().as_num(),
+                    dur: e.get("dur").unwrap().as_num(),
+                });
+            }
+            other => panic!("unexpected event phase {other:?} (only X and M are emitted)"),
+        }
+    }
+
+    // Process naming convention: wall pid and sim pid, both labelled.
+    assert!(process_names
+        .iter()
+        .any(|(pid, n)| *pid == WALL_PID && n == "fastgl (wall clock)"));
+    assert!(process_names
+        .iter()
+        .any(|(pid, n)| *pid == SIM_PID && n == "fastgl (simulated gpu)"));
+
+    // Tid conventions: sim events all on tid 0 of SIM_PID; every wall tid
+    // that carries events has a "worker N" thread_name record matching its
+    // ordinal.
+    for s in &spans {
+        assert!(
+            s.pid == WALL_PID || s.pid == SIM_PID,
+            "unknown pid {}",
+            s.pid
+        );
+        if s.pid == SIM_PID {
+            assert_eq!(s.tid, 0, "sim events share the single sim timeline");
+        } else {
+            assert!(s.tid >= 1, "wall thread ordinals are 1-based");
+            assert!(
+                thread_names.iter().any(|(pid, tid, n)| *pid == WALL_PID
+                    && *tid == s.tid
+                    && *n == format!("worker {}", s.tid)),
+                "wall tid {} lacks its worker thread_name",
+                s.tid
+            );
+        }
+    }
+
+    // The recorded structure survived: 3 sampler threads, each with a
+    // nested hop, plus execute and the enclosing epoch on the main thread.
+    let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+    assert_eq!(count("pipeline.stage.sample"), 3);
+    assert_eq!(count("sample.hop"), 3);
+    assert_eq!(count("pipeline.stage.execute"), 1);
+    assert_eq!(count("epoch"), 1);
+    let sampler_tids: std::collections::BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.name == "pipeline.stage.sample")
+        .map(|s| s.tid)
+        .collect();
+    assert_eq!(sampler_tids.len(), 3, "each sampler ran on its own thread");
+
+    // Span nesting: on any single (pid, tid) timeline, two spans either
+    // nest or are disjoint — RAII guards cannot partially overlap.
+    for a in &spans {
+        for b in &spans {
+            if std::ptr::eq(a, b) || a.pid != b.pid || a.tid != b.tid {
+                continue;
+            }
+            let (a0, a1) = (a.ts, a.ts + a.dur);
+            let (b0, b1) = (b.ts, b.ts + b.dur);
+            let disjoint = a1 <= b0 || b1 <= a0;
+            let nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+            assert!(
+                disjoint || nested,
+                "spans {} and {} partially overlap on pid {} tid {}",
+                a.name,
+                b.name,
+                a.pid,
+                a.tid
+            );
+        }
+    }
+
+    // Specific nesting: each hop sits inside its thread's sample span, and
+    // every wall span sits inside [epoch start, epoch end].
+    let epoch = spans.iter().find(|s| s.name == "epoch").unwrap();
+    for s in spans.iter().filter(|s| s.pid == WALL_PID) {
+        if s.tid == epoch.tid && !std::ptr::eq(s, epoch) {
+            assert!(
+                s.ts >= epoch.ts && s.ts + s.dur <= epoch.ts + epoch.dur,
+                "{} escapes the enclosing epoch span",
+                s.name
+            );
+        }
+    }
+    for hop in spans.iter().filter(|s| s.name == "sample.hop") {
+        let parent = spans
+            .iter()
+            .find(|s| s.name == "pipeline.stage.sample" && s.tid == hop.tid)
+            .expect("hop has a sampler parent on its thread");
+        assert!(
+            hop.ts >= parent.ts && hop.ts + hop.dur <= parent.ts + parent.dur,
+            "hop escapes its sampler span"
+        );
+    }
+
+    // The simulated breakdown bridged onto the sim track: phases lie back
+    // to back inside the enclosing label.
+    let label = spans
+        .iter()
+        .find(|s| s.pid == SIM_PID && s.name == "epoch 0")
+        .expect("sim label span");
+    assert_eq!(label.dur, 3.5, "3500 ns = 3.5 us");
+    let mut phases: Vec<&Span> = spans
+        .iter()
+        .filter(|s| s.pid == SIM_PID && s.name != "epoch 0")
+        .collect();
+    phases.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap());
+    let names: Vec<&str> = phases.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["sample", "io", "compute"]);
+    let mut cursor = label.ts;
+    for p in &phases {
+        assert_eq!(p.ts, cursor, "sim phases are gap-free");
+        cursor += p.dur;
+    }
+    assert_eq!(cursor, label.ts + label.dur);
+}
